@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments demo clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Every paper table/figure and ablation as a benchmark, with logs.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the full evaluation report (Table 1, Figs 8-9, Monte
+# Carlo, ablations) at the paper's 300 s duration.
+experiments:
+	$(GO) run ./cmd/experiments -run all -dur 300
+
+# Whole-chip cycle-level co-simulation demo.
+demo:
+	$(GO) run ./cmd/fpgademo
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,259 @@
+// Package bench is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (Section 11) plus the ablation
+// studies, one testing.B benchmark per artefact. Each benchmark runs
+// the same workload the corresponding report command runs (shortened
+// from the paper's 300 s to keep -bench wall time reasonable; pass
+// -bench-dur to change it) and logs the headline numbers so a
+// `go test -bench=.` transcript doubles as an experiment record.
+package bench
+
+import (
+	"flag"
+	"io"
+	"testing"
+
+	"boresight/internal/experiments"
+	"boresight/internal/geom"
+	"boresight/internal/system"
+)
+
+var benchDur = flag.Float64("bench-dur", 60, "simulated seconds per boresight run in benchmarks")
+
+// BenchmarkTable1Static regenerates the top half of Table 1: static
+// tilting-platform boresight runs.
+func BenchmarkTable1Static(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mis := geom.EulerDeg(2, -3, 1)
+		cfg := system.StaticScenario(mis, *benchDur, int64(100+i))
+		cfg.ResidualStride = 1000
+		res, err := system.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("static: err %.4f/%.4f/%.4f°, 3σ %.4f/%.4f/%.4f°, within=%v",
+				res.ErrorDeg[0], res.ErrorDeg[1], res.ErrorDeg[2],
+				res.ThreeSigmaDeg[0], res.ThreeSigmaDeg[1], res.ThreeSigmaDeg[2],
+				res.WithinConfidence)
+		}
+	}
+}
+
+// BenchmarkTable1Dynamic regenerates the bottom half of Table 1:
+// driving runs with vibration and raised measurement noise.
+func BenchmarkTable1Dynamic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mis := geom.EulerDeg(2, -3, 1)
+		cfg := system.DynamicScenario(mis, *benchDur, int64(200+i))
+		cfg.ResidualStride = 1000
+		res, err := system.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("dynamic: err %.4f/%.4f/%.4f°, exceed %.2f%%",
+				res.ErrorDeg[0], res.ErrorDeg[1], res.ErrorDeg[2],
+				100*res.ExceedanceRate)
+		}
+	}
+}
+
+// BenchmarkFig8Residuals regenerates Figure 8's three residual series
+// (static tuned, dynamic under-modelled, dynamic tuned).
+func BenchmarkFig8Residuals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig8(io.Discard, *benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("exceedance: static %.2f%%, under-modelled %.2f%%, tuned %.2f%%",
+				100*series[0].ExceedanceRate, 100*series[1].ExceedanceRate,
+				100*series[2].ExceedanceRate)
+		}
+	}
+}
+
+// BenchmarkFig9Convergence regenerates Figure 9's dynamic convergence
+// history.
+func BenchmarkFig9Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(io.Discard, *benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("settle (±0.1° of final): roll %.1f s, pitch %.1f s, yaw %.1f s",
+				res.Settle[0], res.Settle[1], res.Settle[2])
+		}
+	}
+}
+
+// BenchmarkAblationFixedPoint sweeps fixed-point vs float affine
+// accuracy (Section 12's fixed-point-conversion remark).
+func BenchmarkAblationFixedPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationFixedPoint(io.Discard)
+		if i == 0 {
+			b.Logf("PSNR at %g°: %.1f dB; at %g°: %.1f dB",
+				rows[0].AngleDeg, rows[0].PSNRdB,
+				rows[len(rows)-1].AngleDeg, rows[len(rows)-1].PSNRdB)
+		}
+	}
+}
+
+// BenchmarkAblationLUTSize sweeps the sine/cosine table size around the
+// paper's 1024 entries.
+func BenchmarkAblationLUTSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationLUTSize(io.Discard)
+		if i == 0 {
+			for _, r := range rows {
+				if r.Size == 1024 {
+					b.Logf("1024-entry LUT: max trig err %.5f", r.MaxTrigErr)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationNoiseSweep sweeps the measurement-noise tuning over
+// the paper's 0.003–0.05 m/s² range on the dynamic test.
+func BenchmarkAblationNoiseSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationNoiseSweep(io.Discard, *benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("σ=%.3f: exceed %.1f%%; σ=%.3f: exceed %.1f%%",
+				rows[0].MeasNoise, 100*rows[0].ExceedanceRate,
+				rows[len(rows)-1].MeasNoise, 100*rows[len(rows)-1].ExceedanceRate)
+		}
+	}
+}
+
+// BenchmarkAblationSabreSoftfloat measures IEEE-emulation cost on the
+// soft core (Section 10).
+func BenchmarkAblationSabreSoftfloat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationSabreSoftfloat(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: %.0f cycles", r.Routine, r.CyclesPerOp)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationStateModel compares filter state vectors on
+// uncalibrated, biased instruments.
+func BenchmarkAblationStateModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationStateModel(io.Discard, *benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: Σ|err| %.4f°", r.Model, r.SumErrDeg)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationRunLength sweeps the observation window (Section
+// 12's "time allowed for the filter").
+func BenchmarkAblationRunLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationRunLength(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%g s: Σ3σ %.4f°; %g s: Σ3σ %.4f°",
+				rows[0].Duration, rows[0].Sig3Sum,
+				rows[len(rows)-1].Duration, rows[len(rows)-1].Sig3Sum)
+		}
+	}
+}
+
+// BenchmarkVideoPipelineFrame runs one QVGA frame through the clocked
+// five-stage affine pipeline (Section 8/9's real-time datapath).
+func BenchmarkVideoPipelineFrame(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.VideoPipelineReport(io.Discard, 320, 240)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%d cycles/frame, %.1f fps at 25 MHz", rep.CyclesPerFrame, rep.FPSAt25MHz)
+		}
+	}
+}
+
+// BenchmarkAblationVehicleData evaluates wheel-speed aiding of an
+// uncalibrated IMU (Section 12's "fusion of data from the vehicle").
+func BenchmarkAblationVehicleData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationVehicleData(io.Discard, *benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: Σ|err| %.4f°", r.Mode, r.SumErrDeg)
+			}
+		}
+	}
+}
+
+// BenchmarkMonteCarloCoverage measures the empirical 3σ coverage behind
+// the paper's "99% confidence" claim over repeated seeded trials.
+func BenchmarkMonteCarloCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, dy, err := experiments.MonteCarlo(io.Discard, 10, *benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("static coverage %.1f%%, dynamic coverage %.1f%%",
+				100*st.Coverage, 100*dy.Coverage)
+		}
+	}
+}
+
+// BenchmarkAblationLeverArm evaluates the lever-arm (self-referencing)
+// extension: misalignment bias from an unmodelled mounting offset, and
+// its recovery when the three lever states are estimated.
+func BenchmarkAblationLeverArm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationLeverArm(io.Discard, *benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: Σ|err| %.4f°", r.Mode, r.SumErrDeg)
+			}
+		}
+	}
+}
+
+// BenchmarkBumpRealignment measures continuous realignment after a
+// mid-run mounting disturbance (the paper's "car park bump").
+func BenchmarkBumpRealignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, without, err := experiments.Bump(io.Discard, *benchDur*2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("re-acquired in %.1f s with recovery; without: %.1f s (-1 = never)",
+				with.ReconvergeSecs, without.ReconvergeSecs)
+		}
+	}
+}

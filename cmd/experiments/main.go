@@ -1,0 +1,147 @@
+// Command experiments regenerates the paper's evaluation artefacts —
+// Table 1, Figure 8, Figure 9 — and the ablation studies, printing each
+// report to stdout and optionally dumping plot-ready CSV files.
+//
+// Usage:
+//
+//	experiments -run table1|fig8|fig9|ablations|all [-dur 300] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"boresight/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: table1, fig8, fig9, montecarlo, ablations, all")
+	dur := flag.Float64("dur", 300, "test duration in seconds (the paper uses 300)")
+	csvDir := flag.String("csv", "", "directory for CSV dumps of the figure data (optional)")
+	flag.Parse()
+
+	if err := realMain(*run, *dur, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(run string, dur float64, csvDir string) error {
+	out := os.Stdout
+	doTable1 := run == "table1" || run == "all"
+	doFig8 := run == "fig8" || run == "all"
+	doFig9 := run == "fig9" || run == "all"
+	doMC := run == "montecarlo" || run == "all"
+	doAbl := run == "ablations" || run == "all"
+	if !doTable1 && !doFig8 && !doFig9 && !doMC && !doAbl {
+		return fmt.Errorf("unknown experiment %q", run)
+	}
+
+	if doTable1 {
+		if _, err := experiments.Table1(out, dur); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if doFig8 {
+		series, err := experiments.Fig8(out, dur)
+		if err != nil {
+			return err
+		}
+		if csvDir != "" {
+			for i, s := range series {
+				f, err := os.Create(filepath.Join(csvDir, fmt.Sprintf("fig8_%d.csv", i+1)))
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteFig8CSV(f, s); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %s (%s)\n", f.Name(), s.Name)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	if doFig9 {
+		res, err := experiments.Fig9(out, dur)
+		if err != nil {
+			return err
+		}
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, "fig9.csv"))
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteFig9CSV(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", f.Name())
+		}
+		fmt.Fprintln(out)
+	}
+	if doMC {
+		if _, _, err := experiments.MonteCarlo(out, 20, min(dur, 120)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if doAbl {
+		experiments.AblationFixedPoint(out)
+		fmt.Fprintln(out)
+		experiments.AblationLUTSize(out)
+		fmt.Fprintln(out)
+		if _, err := experiments.AblationNoiseSweep(out, min(dur, 120)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if _, err := experiments.AblationSabreSoftfloat(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if _, err := experiments.AblationStateModel(out, min(dur, 120)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if _, err := experiments.AblationRunLength(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if _, err := experiments.AblationVehicleData(out, min(dur, 120)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if _, err := experiments.AblationLeverArm(out, min(dur, 300)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if _, _, err := experiments.Bump(out, min(dur, 300)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if _, err := experiments.VideoPipelineReport(out, 320, 240); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if _, err := experiments.Requirements(out, min(dur, 120)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

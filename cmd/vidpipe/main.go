@@ -1,0 +1,103 @@
+// Command vidpipe demonstrates the FPGA video path: it renders a
+// synthetic road scene, distorts it with a camera misalignment, runs the
+// five-stage fixed-point affine pipeline (on the cycle simulator) to
+// correct it, writes before/distorted/corrected PPM images, and reports
+// cycle counts and image quality.
+//
+// Usage:
+//
+//	vidpipe [-roll 3] [-pitch 1] [-yaw -1] [-w 320] [-h 240]
+//	        [-focal 400] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"boresight/internal/affine"
+	"boresight/internal/fixed"
+	"boresight/internal/geom"
+	"boresight/internal/hcsim"
+	"boresight/internal/rc200"
+	"boresight/internal/video"
+)
+
+func main() {
+	roll := flag.Float64("roll", 3, "camera roll misalignment (degrees)")
+	pitch := flag.Float64("pitch", 1, "camera pitch misalignment (degrees)")
+	yaw := flag.Float64("yaw", -1, "camera yaw misalignment (degrees)")
+	w := flag.Int("w", 320, "frame width")
+	h := flag.Int("h", 240, "frame height")
+	focal := flag.Float64("focal", 400, "focal length (pixels)")
+	out := flag.String("out", ".", "output directory for PPM images")
+	flag.Parse()
+
+	if err := realMain(*roll, *pitch, *yaw, *w, *h, *focal, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "vidpipe:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(roll, pitch, yaw float64, w, h int, focal float64, outDir string) error {
+	mis := geom.EulerDeg(roll, pitch, yaw)
+	scene := video.RoadScene{W: w, H: h}.Render()
+
+	// What the misaligned camera sees: the scene transformed by the
+	// inverse of the correction.
+	corr := affine.FromMisalignment(mis, focal)
+	distorted := affine.TransformFloat(scene, corr.Invert(), true)
+
+	// Correct it on the clocked fixed-point pipeline.
+	sim := hcsim.NewSim()
+	ram := rc200.NewSRAM(sim)
+	ram.LoadFrame(distorted)
+	disp := rc200.NewDisplay(w, h)
+	lut := fixed.NewTrig(1024, fixed.TrigFrac)
+	pipe := affine.NewPipeline(sim, lut, ram, disp, w, h)
+	idx, tx, ty := affine.ControlFromParams(lut, corr)
+	pipe.SetControl(idx, tx, ty)
+	sim.Tick()
+	start := sim.Cycle()
+	pipe.Start()
+	sim.Tick()
+	for pipe.Busy() {
+		sim.Tick()
+	}
+	cycles := sim.Cycle() - start
+
+	fmt.Printf("misalignment: roll %+.2f°, pitch %+.2f°, yaw %+.2f° (focal %.0f px)\n",
+		roll, pitch, yaw, focal)
+	fmt.Printf("correction:   rotate %+.2f°, shift (%+.1f, %+.1f) px, LUT index %d\n",
+		geom.Rad2Deg(corr.Theta), corr.TX, corr.TY, idx)
+	fmt.Printf("pipeline:     %dx%d frame in %d cycles (%.2f px/cycle), %d out-of-range pixels\n",
+		w, h, cycles, float64(w*h)/float64(cycles), pipe.BlackPixels())
+	fmt.Printf("at 25 MHz:    %.1f frames/s\n", 25e6/float64(cycles))
+	fmt.Printf("alignment error (mean abs diff vs true scene): distorted %.2f -> corrected %.2f\n",
+		video.MeanAbsDiff(scene, distorted), video.MeanAbsDiff(scene, disp.Frame))
+
+	for _, img := range []struct {
+		name  string
+		frame *video.Frame
+	}{
+		{"scene.ppm", scene},
+		{"distorted.ppm", distorted},
+		{"corrected.ppm", disp.Frame},
+	} {
+		path := filepath.Join(outDir, img.name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := img.frame.WritePPM(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

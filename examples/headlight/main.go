@@ -1,0 +1,77 @@
+// Headlight-aiming example: the paper's Section 12 lists "alignment for
+// other sensor features such as headlights" among the method's uses. A
+// headlight module carrying the same cheap two-axis accelerometer is
+// boresighted while the car drives; the estimated pitch/yaw error maps
+// directly onto beam-cutoff geometry (ECE R48: the low-beam cutoff must
+// fall ~1% below horizontal) and onto the adjuster-screw turns a shop —
+// or a self-levelling actuator — would apply.
+//
+// Run with: go run ./examples/headlight
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"boresight/internal/geom"
+	"boresight/internal/system"
+)
+
+func main() {
+	// The module sags 0.9° down and 0.5° outboard after years of
+	// vibration — enough to dazzle oncoming traffic on crests or to
+	// underlight the verge.
+	trueMis := geom.EulerDeg(0.2, -0.9, 0.5)
+
+	cfg := system.DynamicScenario(trueMis, 300, 13)
+	res, err := system.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		cutoffNominal = -0.57 // ° below horizontal: the 1% ECE aim
+		degPerTurn    = 0.35  // beam movement per adjuster-screw turn
+	)
+
+	_, pitchErr, yawErr := res.Estimated.Deg()
+	fmt.Println("headlight self-alignment from the boresight filter")
+	fmt.Printf("estimated aim error:  pitch %+.3f°, yaw %+.3f° (true %+.1f°, %+.1f°)\n",
+		pitchErr, yawErr, -0.9, 0.5)
+	fmt.Printf("3σ confidence:        pitch %.3f°, yaw %.3f°\n",
+		res.ThreeSigmaDeg[1], res.ThreeSigmaDeg[2])
+
+	cutoffActual := cutoffNominal + pitchErr
+	fmt.Printf("low-beam cutoff:      %+.2f° (nominal %+.2f°)\n", cutoffActual, cutoffNominal)
+	// Glare check: cutoff above -0.2° begins to dazzle at ~50 m.
+	if cutoffActual > -0.2 {
+		fmt.Println("status:               DAZZLING oncoming traffic — correction required")
+	} else if cutoffActual < -1.0 {
+		fmt.Println("status:               UNDERLIGHTING the road — correction required")
+	} else {
+		fmt.Println("status:               within tolerance")
+	}
+
+	// Correction: turns of the vertical and horizontal adjusters (or
+	// the self-levelling actuator commands).
+	vTurns := -pitchErr / degPerTurn
+	hTurns := -yawErr / degPerTurn
+	fmt.Printf("correction:           vertical %+.2f turns, horizontal %+.2f turns\n", vTurns, hTurns)
+
+	// Range geometry: how far the 1% cutoff lands for headlamps 0.65 m
+	// above the road, before and after applying the estimated
+	// correction (the residual is truth − estimate).
+	lampHeight := 0.65
+	distAt := func(cutoffDeg float64) float64 {
+		t := math.Tan(geom.Deg2Rad(-cutoffDeg))
+		if t <= 0 {
+			return math.Inf(1)
+		}
+		return lampHeight / t
+	}
+	_, truePitchDeg, _ := res.True.Deg()
+	residual := truePitchDeg - pitchErr
+	fmt.Printf("cutoff reach:         %.0f m misaimed vs %.0f m corrected (nominal %.0f m)\n",
+		distAt(cutoffActual), distAt(cutoffNominal+residual), distAt(cutoffNominal))
+}

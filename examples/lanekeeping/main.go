@@ -1,0 +1,54 @@
+// Lane-keeping example: the ADAS motivation from the paper's
+// introduction. A lane-departure-warning camera that is misaligned in
+// yaw reports lane positions shifted sideways; at highway look-ahead
+// distances a degree of yaw is most of a lane's width of error. This
+// example quantifies the hazard and shows the boresight system removing
+// it while the vehicle simply drives.
+//
+// Run with: go run ./examples/lanekeeping
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"boresight/internal/geom"
+	"boresight/internal/system"
+)
+
+func main() {
+	// A knocked camera: 0.8° of yaw, 0.5° of pitch (a "car park bump").
+	trueMis := geom.EulerDeg(0.3, 0.5, 0.8)
+
+	fmt.Println("lane-keeping geometry error from camera misalignment")
+	fmt.Println()
+	fmt.Println("lateral error = distance × tan(yaw error); lane half-width ≈ 1.75 m")
+	fmt.Printf("%12s %22s\n", "look-ahead", "error @0.8° yaw")
+	for _, d := range []float64{10.0, 30, 60, 100} {
+		fmt.Printf("%10.0f m %20.2f m\n", d, d*math.Tan(trueMis.Yaw))
+	}
+	fmt.Println()
+
+	// The vehicle drives for five minutes; the fusion runs silently.
+	cfg := system.DynamicScenario(trueMis, 300, 7)
+	res, err := system.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	residualYaw := math.Abs(res.Estimated.Yaw - trueMis.Yaw)
+	fmt.Printf("after a %d-update drive, estimated yaw misalignment: %+.3f° (true %+.3f°)\n",
+		res.Steps, geom.Rad2Deg(res.Estimated.Yaw), geom.Rad2Deg(trueMis.Yaw))
+	fmt.Printf("%12s %22s %22s\n", "look-ahead", "uncorrected", "after boresight")
+	for _, d := range []float64{10.0, 30, 60, 100} {
+		fmt.Printf("%10.0f m %20.2f m %20.3f m\n",
+			d, d*math.Tan(trueMis.Yaw), d*math.Tan(residualYaw))
+	}
+	fmt.Println()
+	fmt.Printf("3σ confidence on yaw: %.4f°  →  %.3f m at 100 m look-ahead\n",
+		res.ThreeSigmaDeg[2], 100*math.Tan(geom.Deg2Rad(res.ThreeSigmaDeg[2])))
+	if d := 100 * math.Tan(residualYaw); d < 0.2 {
+		fmt.Printf("lane-position error reduced below 20 cm at 100 m: safety margin restored\n")
+	}
+}

@@ -1,0 +1,41 @@
+; countdown.s — a small Sabre program for the toolchain examples:
+; counts 10 down to 0 on the LEDs, echoes progress to the debug
+; console, and reports total cycles via the counter peripheral.
+;
+; Assemble:     go run ./cmd/sabre asm examples/sabreasm/countdown.s
+; Disassemble:  go run ./cmd/sabre disasm examples/sabreasm/countdown.s
+; Run:          go run ./cmd/sabre run examples/sabreasm/countdown.s
+
+	.equ LEDS, 0x10000
+	.equ CYC,  0x10700
+	.equ DBG,  0x10800
+
+	li sp, 0xFF00
+	li s0, LEDS
+	li s1, DBG
+	li t0, 10               ; counter
+	la t2, delay            ; subroutine address for jalr demo
+
+loop:
+	sw t0, 0(s0)            ; show on LEDs
+	addi t1, t0, '0'        ; ASCII digit (single digits only)
+	li t3, 10
+	bge t0, t3, skip_echo   ; skip the '10' (two digits)
+	sw t1, 0(s1)            ; echo to console
+skip_echo:
+	jalr ra, t2, 0          ; call delay via computed address
+	addi t0, t0, -1
+	bge t0, zero, loop
+
+	; report elapsed cycles through the debug word port
+	li t1, CYC
+	lw t2, 0(t1)
+	sw t2, 4(s1)
+	halt
+
+delay:                          ; ~64-cycle busy wait
+	li t4, 32
+delay_loop:
+	addi t4, t4, -1
+	bnez t4, delay_loop
+	ret

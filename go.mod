@@ -1,0 +1,3 @@
+module boresight
+
+go 1.22

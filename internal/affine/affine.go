@@ -1,0 +1,191 @@
+// Package affine implements the video realignment of the paper's
+// Sections 6 and 9: 2-D affine transforms (rotation about the image
+// centre plus translation), in both a float64 reference implementation
+// and the 16-bit fixed-point, sine/cosine-LUT form the FPGA datapath
+// uses. The five-stage pipelined version of Figure 5 lives in
+// pipeline.go on the hcsim kernel.
+//
+// The boresight correction maps misalignment angles onto image
+// operations through the pinhole model: sensor roll rotates the image
+// about its centre, while pitch and yaw shift the image vertically and
+// horizontally by focal·tan(angle) pixels — the linear B vector of the
+// paper's r' = A·r + B.
+package affine
+
+import (
+	"math"
+
+	"boresight/internal/fixed"
+	"boresight/internal/geom"
+	"boresight/internal/video"
+)
+
+// Params describes one affine correction: rotate by Theta about the
+// image centre, then translate by (TX, TY) pixels.
+type Params struct {
+	Theta  float64 // rotation (rad), positive = counter-clockwise in image axes
+	TX, TY float64 // translation (pixels)
+}
+
+// FromMisalignment converts estimated boresight angles to image
+// correction parameters for a camera with the given focal length in
+// pixels: the image is rotated back by the roll and shifted opposite
+// the pitch/yaw pointing error.
+func FromMisalignment(mis geom.Euler, focalPx float64) Params {
+	return Params{
+		Theta: mis.Roll,
+		TX:    focalPx * math.Tan(mis.Yaw),
+		TY:    focalPx * math.Tan(mis.Pitch),
+	}
+}
+
+// Invert returns parameters that undo p (exactly for the float path).
+func (p Params) Invert() Params {
+	// Inverse of x' = R(θ)(x−c)+c+t is x = R(−θ)(x'−c−t)+c, i.e. a
+	// rotation by −θ with the translation −t rotated by −θ.
+	c, s := math.Cos(-p.Theta), math.Sin(-p.Theta)
+	return Params{
+		Theta: -p.Theta,
+		TX:    -(c*p.TX - s*p.TY),
+		TY:    -(s*p.TX + c*p.TY),
+	}
+}
+
+// Apply maps a source-image point through the transform (forward
+// direction): rotate about the centre (cx, cy), then translate.
+func (p Params) Apply(x, y, cx, cy float64) (ox, oy float64) {
+	c, s := math.Cos(p.Theta), math.Sin(p.Theta)
+	dx, dy := x-cx, y-cy
+	return cx + c*dx - s*dy + p.TX, cy + s*dx + c*dy + p.TY
+}
+
+// TransformFloat is the reference implementation: an output-driven
+// (inverse-mapped) transform with optional bilinear sampling. Every
+// output pixel is defined; sources outside the input are black.
+func TransformFloat(src *video.Frame, p Params, bilinear bool) *video.Frame {
+	out := video.NewFrame(src.W, src.H)
+	inv := p.Invert()
+	cx, cy := float64(src.W)/2, float64(src.H)/2
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			sx, sy := inv.Apply(float64(x), float64(y), cx, cy)
+			if bilinear {
+				out.Set(x, y, sampleBilinear(src, sx, sy))
+			} else {
+				out.Set(x, y, src.At(int(math.Round(sx)), int(math.Round(sy))))
+			}
+		}
+	}
+	return out
+}
+
+func sampleBilinear(src *video.Frame, x, y float64) video.Pixel {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	fx, fy := x-x0, y-y0
+	ix, iy := int(x0), int(y0)
+	p00 := src.At(ix, iy)
+	p10 := src.At(ix+1, iy)
+	p01 := src.At(ix, iy+1)
+	p11 := src.At(ix+1, iy+1)
+	lerp := func(a, b uint8, f float64) float64 {
+		return float64(a) + (float64(b)-float64(a))*f
+	}
+	mix := func(c func(video.Pixel) uint8) uint8 {
+		top := lerp(c(p00), c(p10), fx)
+		bot := lerp(c(p01), c(p11), fx)
+		return uint8(math.Round(top + (bot-top)*fy))
+	}
+	return video.RGB(
+		mix(video.Pixel.R),
+		mix(video.Pixel.G),
+		mix(video.Pixel.B),
+	)
+}
+
+// FixedTransformer performs the transform with the FPGA datapath's
+// arithmetic: angles quantised through a sine/cosine LUT, coordinates in
+// Q9.6 fixed point, nearest-neighbour sampling.
+type FixedTransformer struct {
+	lut *fixed.Trig
+}
+
+// NewFixedTransformer wraps a LUT (the paper's is fixed.NewTrig(1024,
+// fixed.TrigFrac)).
+func NewFixedTransformer(lut *fixed.Trig) *FixedTransformer {
+	return &FixedTransformer{lut: lut}
+}
+
+// LUT returns the transformer's trig table.
+func (t *FixedTransformer) LUT() *fixed.Trig { return t.lut }
+
+// RotateCoord runs one coordinate pair through the Figure 5 datapath
+// (the five pipeline steps as straight-line code): LUT lookup, centre
+// offset and int→fixed, four fixed multiplies, sums and fixed→int,
+// centre restore. The rotation angle is given as a LUT index; the
+// translation in whole pixels.
+func (t *FixedTransformer) RotateCoord(thetaIdx, inX, inY, cx, cy, tx, ty int) (outX, outY int) {
+	sin := t.lut.SinIdx(thetaIdx)
+	cos := t.lut.CosIdx(thetaIdx)
+	// Step 2: centre offset, int → fixed (Q9.6).
+	mapX := fixed.FromInt(inX-cx, fixed.CoordFrac)
+	mapY := fixed.FromInt(inY-cy, fixed.CoordFrac)
+	// Step 3: four multiplies (Q9.6 × Q1.14 → Q9.6).
+	t2 := fixed.Mul(mapY, -sin, fixed.TrigFrac)
+	t3 := fixed.Mul(mapX, cos, fixed.TrigFrac)
+	t4 := fixed.Mul(mapX, sin, fixed.TrigFrac)
+	t5 := fixed.Mul(mapY, cos, fixed.TrigFrac)
+	// Step 4: sums, fixed → int.
+	xb := fixed.ToInt(fixed.AddSat(t2, t3), fixed.CoordFrac)
+	yb := fixed.ToInt(fixed.AddSat(t4, t5), fixed.CoordFrac)
+	// Step 5: centre restore plus translation.
+	return xb + cx + tx, yb + cy + ty
+}
+
+// Transform performs an output-driven transform of a whole frame using
+// the fixed-point datapath. The inverse mapping uses the LUT index of
+// −θ and the rotated negative translation, mirroring what the Sabre
+// control program loads into the angle registers.
+func (t *FixedTransformer) Transform(src *video.Frame, p Params) *video.Frame {
+	out := video.NewFrame(src.W, src.H)
+	inv := p.Invert()
+	idx := t.lut.Index(inv.Theta)
+	tx := int(math.Round(inv.TX))
+	ty := int(math.Round(inv.TY))
+	cx, cy := src.W/2, src.H/2
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			sx, sy := t.RotateCoord(idx, x, y, cx, cy, tx, ty)
+			out.Set(x, y, src.At(sx, sy))
+		}
+	}
+	return out
+}
+
+// ForwardMap reproduces the paper's forward-mapped formulation (each
+// input pixel lands at a rotated output location). Forward mapping
+// leaves holes where no input pixel maps; the returned count supports
+// the forward-vs-inverse ablation.
+func (t *FixedTransformer) ForwardMap(src *video.Frame, p Params) (*video.Frame, int) {
+	out := video.NewFrame(src.W, src.H)
+	written := make([]bool, src.W*src.H)
+	idx := t.lut.Index(p.Theta)
+	tx := int(math.Round(p.TX))
+	ty := int(math.Round(p.TY))
+	cx, cy := src.W/2, src.H/2
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			ox, oy := t.RotateCoord(idx, x, y, cx, cy, tx, ty)
+			if ox >= 0 && ox < src.W && oy >= 0 && oy < src.H {
+				out.Set(ox, oy, src.At(x, y))
+				written[oy*src.W+ox] = true
+			}
+		}
+	}
+	holes := 0
+	for _, w := range written {
+		if !w {
+			holes++
+		}
+	}
+	return out, holes
+}

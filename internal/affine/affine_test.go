@@ -1,0 +1,219 @@
+package affine
+
+import (
+	"math"
+	"testing"
+
+	"boresight/internal/fixed"
+	"boresight/internal/geom"
+	"boresight/internal/video"
+)
+
+func stdLUT() *fixed.Trig { return fixed.NewTrig(1024, fixed.TrigFrac) }
+
+func TestParamsApplyIdentity(t *testing.T) {
+	p := Params{}
+	x, y := p.Apply(10, 20, 16, 12)
+	if x != 10 || y != 20 {
+		t.Fatalf("identity moved point to (%v, %v)", x, y)
+	}
+}
+
+func TestParamsApplyKnownRotation(t *testing.T) {
+	// 90° about centre (0,0): (1,0) -> (0,1).
+	p := Params{Theta: math.Pi / 2}
+	x, y := p.Apply(1, 0, 0, 0)
+	if math.Abs(x) > 1e-12 || math.Abs(y-1) > 1e-12 {
+		t.Fatalf("(1,0) -> (%v, %v)", x, y)
+	}
+}
+
+func TestParamsInvertRoundTrip(t *testing.T) {
+	p := Params{Theta: 0.3, TX: 5.5, TY: -2.25}
+	inv := p.Invert()
+	for _, pt := range [][2]float64{{0, 0}, {10, 3}, {-7, 12.5}} {
+		fx, fy := p.Apply(pt[0], pt[1], 4, 6)
+		bx, by := inv.Apply(fx, fy, 4, 6)
+		if math.Abs(bx-pt[0]) > 1e-9 || math.Abs(by-pt[1]) > 1e-9 {
+			t.Fatalf("invert round trip (%v,%v) -> (%v,%v)", pt[0], pt[1], bx, by)
+		}
+	}
+}
+
+func TestFromMisalignment(t *testing.T) {
+	mis := geom.EulerDeg(2, 1, -1.5)
+	p := FromMisalignment(mis, 400)
+	if math.Abs(p.Theta-mis.Roll) > 1e-12 {
+		t.Fatalf("theta = %v", p.Theta)
+	}
+	if math.Abs(p.TX-400*math.Tan(mis.Yaw)) > 1e-9 {
+		t.Fatalf("TX = %v", p.TX)
+	}
+	if math.Abs(p.TY-400*math.Tan(mis.Pitch)) > 1e-9 {
+		t.Fatalf("TY = %v", p.TY)
+	}
+}
+
+func TestTransformFloatIdentity(t *testing.T) {
+	src := video.Checkerboard(32, 32, 4)
+	for _, bilinear := range []bool{false, true} {
+		out := TransformFloat(src, Params{}, bilinear)
+		if !out.Equal(src) {
+			t.Fatalf("identity transform (bilinear=%v) changed the image", bilinear)
+		}
+	}
+}
+
+func TestTransformFloatPureTranslation(t *testing.T) {
+	src := video.NewFrame(16, 16)
+	src.Set(5, 6, video.RGB(9, 9, 9))
+	out := TransformFloat(src, Params{TX: 3, TY: -2}, false)
+	if out.At(8, 4) != video.RGB(9, 9, 9) {
+		t.Fatal("translation did not move the marker")
+	}
+	if out.At(5, 6) == video.RGB(9, 9, 9) {
+		t.Fatal("marker still at source position")
+	}
+}
+
+func TestTransformFloatRotation90(t *testing.T) {
+	// 90° rotation about the float centre (16.5, 16.5) of a 33-wide
+	// frame: (30,16) is (+13.5,−0.5) from centre and rotates to
+	// (+0.5,+13.5) = (17, 30).
+	src := video.NewFrame(33, 33)
+	src.Set(30, 16, video.RGB(1, 1, 1))
+	out := TransformFloat(src, Params{Theta: math.Pi / 2}, false)
+	if out.At(17, 30) != video.RGB(1, 1, 1) {
+		t.Fatal("90° rotation misplaced marker")
+	}
+}
+
+func TestTransformRoundTripPSNR(t *testing.T) {
+	// Rotate and rotate back: interior should survive (edges lose data).
+	src := video.RoadScene{W: 64, H: 64}.Render()
+	p := Params{Theta: geom.Deg2Rad(5)}
+	fwd := TransformFloat(src, p, true)
+	back := TransformFloat(fwd, Params{Theta: -p.Theta}, true)
+	// Compare interior region only.
+	crop := func(f *video.Frame) *video.Frame {
+		out := video.NewFrame(32, 32)
+		for y := 0; y < 32; y++ {
+			for x := 0; x < 32; x++ {
+				out.Set(x, y, f.At(x+16, y+16))
+			}
+		}
+		return out
+	}
+	if got := video.PSNR(crop(src), crop(back)); got < 20 {
+		t.Fatalf("round-trip interior PSNR = %v dB", got)
+	}
+}
+
+func TestFixedMatchesFloatSmallAngles(t *testing.T) {
+	src := video.RoadScene{W: 64, H: 48}.Render()
+	ft := NewFixedTransformer(stdLUT())
+	for _, deg := range []float64{0.5, 2, 5, -3} {
+		p := Params{Theta: geom.Deg2Rad(deg)}
+		fx := ft.Transform(src, p)
+		fl := TransformFloat(src, p, false)
+		// Fixed-point coordinates may differ by a pixel near cell
+		// boundaries; demand strong overall agreement.
+		diff := video.MeanAbsDiff(fx, fl)
+		if diff > 12 {
+			t.Fatalf("angle %v°: fixed vs float mean abs diff = %v", deg, diff)
+		}
+	}
+}
+
+func TestFixedTransformIdentity(t *testing.T) {
+	src := video.Checkerboard(32, 32, 4)
+	ft := NewFixedTransformer(stdLUT())
+	out := ft.Transform(src, Params{})
+	if !out.Equal(src) {
+		t.Fatal("fixed identity transform changed the image")
+	}
+}
+
+func TestRotateCoordCentreFixedPoint(t *testing.T) {
+	ft := NewFixedTransformer(stdLUT())
+	// The rotation centre never moves, for any angle.
+	for idx := 0; idx < 1024; idx += 37 {
+		x, y := ft.RotateCoord(idx, 16, 12, 16, 12, 0, 0)
+		if x != 16 || y != 12 {
+			t.Fatalf("idx %d: centre moved to (%d, %d)", idx, x, y)
+		}
+	}
+}
+
+func TestRotateCoordQuarterTurns(t *testing.T) {
+	ft := NewFixedTransformer(stdLUT())
+	// LUT index 256 = 90°: (cx+10, cy) -> (cx, cy+10).
+	x, y := ft.RotateCoord(256, 26, 12, 16, 12, 0, 0)
+	if x != 16 || y != 22 {
+		t.Fatalf("90°: got (%d, %d), want (16, 22)", x, y)
+	}
+	// 180°.
+	x, y = ft.RotateCoord(512, 26, 12, 16, 12, 0, 0)
+	if x != 6 || y != 12 {
+		t.Fatalf("180°: got (%d, %d), want (6, 12)", x, y)
+	}
+}
+
+func TestRotateCoordTranslation(t *testing.T) {
+	ft := NewFixedTransformer(stdLUT())
+	x, y := ft.RotateCoord(0, 10, 10, 16, 12, 3, -4)
+	if x != 13 || y != 6 {
+		t.Fatalf("translation: got (%d, %d), want (13, 6)", x, y)
+	}
+}
+
+func TestForwardMapHolesVsInverse(t *testing.T) {
+	// Forward mapping leaves holes under rotation; inverse mapping
+	// never does — the reason VideoOutProcess inverse-maps.
+	src := video.Checkerboard(64, 64, 8)
+	ft := NewFixedTransformer(stdLUT())
+	p := Params{Theta: geom.Deg2Rad(7)}
+	_, holes := ft.ForwardMap(src, p)
+	if holes == 0 {
+		t.Fatal("forward mapping under rotation produced no holes")
+	}
+	// Identity forward map has no holes.
+	_, holes0 := ft.ForwardMap(src, Params{})
+	if holes0 != 0 {
+		t.Fatalf("identity forward map produced %d holes", holes0)
+	}
+}
+
+func TestFixedAccuracyImprovesWithLUTSize(t *testing.T) {
+	src := video.RoadScene{W: 64, H: 48}.Render()
+	p := Params{Theta: geom.Deg2Rad(3.3)}
+	ref := TransformFloat(src, p, false)
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{64, 1024} {
+		ft := NewFixedTransformer(fixed.NewTrig(n, fixed.TrigFrac))
+		d := video.MeanAbsDiff(ft.Transform(src, p), ref)
+		if d > prev+1e-9 {
+			t.Fatalf("LUT %d: diff %v worse than smaller table %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func BenchmarkTransformFloatBilinear(b *testing.B) {
+	src := video.RoadScene{W: 320, H: 240}.Render()
+	p := Params{Theta: geom.Deg2Rad(3)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = TransformFloat(src, p, true)
+	}
+}
+
+func BenchmarkTransformFixed(b *testing.B) {
+	src := video.RoadScene{W: 320, H: 240}.Render()
+	ft := NewFixedTransformer(stdLUT())
+	p := Params{Theta: geom.Deg2Rad(3)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ft.Transform(src, p)
+	}
+}

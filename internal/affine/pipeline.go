@@ -1,0 +1,193 @@
+package affine
+
+import (
+	"math"
+
+	"boresight/internal/fixed"
+	"boresight/internal/hcsim"
+	"boresight/internal/rc200"
+	"boresight/internal/video"
+)
+
+// Pipeline is the paper's Figure 5 RotateCoordinates datapath hosted on
+// the hcsim clock: a five-stage pipeline that, once loaded, produces one
+// output pixel per clock cycle. It raster-scans the output frame,
+// inverse-maps each coordinate through the fixed-point rotation, reads
+// the source pixel from a ZBT SRAM framebuffer (1-cycle latency) and
+// pushes it to the display sink.
+//
+// Stages (one clock each):
+//
+//	S0  raster coordinate generation, control latch
+//	S1  sine/cosine LUT lookup + centre offset + int→fixed  (steps 1–2)
+//	S2  four fixed-point multiplies                          (step 3)
+//	S3  sums, fixed→int, centre restore; SRAM read issued    (steps 4–5)
+//	S4  SRAM data returns; pixel pushed to the display
+//
+// The control inputs (LUT index and pixel translation) mirror the
+// twelve memory-mapped registers the Sabre writes into the
+// SabreControlRun peripheral.
+type Pipeline struct {
+	lut  *fixed.Trig
+	src  *rc200.SRAM
+	dst  *rc200.Display
+	w, h int
+
+	// Control registers (written by the processor side).
+	thetaIdx *hcsim.Reg[int]
+	tx, ty   *hcsim.Reg[int]
+
+	// S0 state: raster position of the next coordinate to issue.
+	pos     *hcsim.Reg[int]
+	running *hcsim.Reg[bool]
+
+	// S1 registers.
+	s1 *hcsim.Reg[s1Regs]
+	// S2 registers.
+	s2 *hcsim.Reg[s2Regs]
+	// S3 registers.
+	s3 *hcsim.Reg[s3Regs]
+
+	framesDone uint64
+	blackOut   uint64 // pixels whose source fell outside the frame
+}
+
+type s1Regs struct {
+	valid      bool
+	x, y       int
+	sin, cos   int32
+	mapX, mapY int32
+}
+
+type s2Regs struct {
+	valid          bool
+	x, y           int
+	t2, t3, t4, t5 int32
+}
+
+type s3Regs struct {
+	valid   bool
+	x, y    int
+	inRange bool
+}
+
+// NewPipeline builds and registers the pipeline with the simulator.
+func NewPipeline(sim *hcsim.Sim, lut *fixed.Trig, src *rc200.SRAM, dst *rc200.Display, w, h int) *Pipeline {
+	p := &Pipeline{
+		lut: lut, src: src, dst: dst, w: w, h: h,
+		thetaIdx: hcsim.NewReg(sim, 0),
+		tx:       hcsim.NewReg(sim, 0),
+		ty:       hcsim.NewReg(sim, 0),
+		pos:      hcsim.NewReg(sim, 0),
+		running:  hcsim.NewReg(sim, false),
+		s1:       hcsim.NewReg(sim, s1Regs{}),
+		s2:       hcsim.NewReg(sim, s2Regs{}),
+		s3:       hcsim.NewReg(sim, s3Regs{}),
+	}
+	sim.Add(p)
+	return p
+}
+
+// SetSource switches the SRAM bank the pipeline reads — the
+// double-buffer swap. Only safe between frames (when Busy is false).
+func (p *Pipeline) SetSource(src *rc200.SRAM) { p.src = src }
+
+// SetControl loads the inverse-mapping control registers: the LUT index
+// of the rotation and the whole-pixel translation applied to the source
+// coordinate. Takes effect at the next clock edge, like a bus write.
+func (p *Pipeline) SetControl(thetaIdx, tx, ty int) {
+	p.thetaIdx.SetD(thetaIdx)
+	p.tx.SetD(tx)
+	p.ty.SetD(ty)
+}
+
+// ControlFromParams converts forward correction parameters to the
+// pipeline's inverse-mapping control values.
+func ControlFromParams(lut *fixed.Trig, prm Params) (thetaIdx, tx, ty int) {
+	inv := prm.Invert()
+	return lut.Index(inv.Theta), int(math.Round(inv.TX)), int(math.Round(inv.TY))
+}
+
+// Start begins one frame (takes effect at the next clock edge).
+func (p *Pipeline) Start() {
+	p.pos.SetD(0)
+	p.running.SetD(true)
+}
+
+// Busy reports whether a frame is still flowing through the pipeline.
+func (p *Pipeline) Busy() bool {
+	return p.running.Q() || p.s1.Q().valid || p.s2.Q().valid || p.s3.Q().valid
+}
+
+// FramesDone returns the number of completed output frames.
+func (p *Pipeline) FramesDone() uint64 { return p.framesDone }
+
+// BlackPixels returns how many output pixels had out-of-range sources.
+func (p *Pipeline) BlackPixels() uint64 { return p.blackOut }
+
+// Eval advances every stage one clock.
+func (p *Pipeline) Eval() {
+	cx, cy := p.w/2, p.h/2
+
+	// S4: the SRAM data addressed by S3 last cycle is valid now.
+	if s3 := p.s3.Q(); s3.valid {
+		var pix video.Pixel
+		if s3.inRange {
+			pix = video.Pixel(p.src.Data())
+		} else {
+			p.blackOut++
+		}
+		p.dst.Push(s3.x, s3.y, pix)
+		if s3.y == p.h-1 && s3.x == p.w-1 {
+			p.framesDone++
+		}
+	}
+
+	// S3: sums, fixed→int, centre restore; issue the SRAM read.
+	if s2 := p.s2.Q(); s2.valid {
+		sx := fixed.ToInt(fixed.AddSat(s2.t2, s2.t3), fixed.CoordFrac) + cx + p.tx.Q()
+		sy := fixed.ToInt(fixed.AddSat(s2.t4, s2.t5), fixed.CoordFrac) + cy + p.ty.Q()
+		inRange := sx >= 0 && sx < p.w && sy >= 0 && sy < p.h
+		if inRange {
+			p.src.RequestRead(sy*p.w + sx)
+		}
+		p.s3.SetD(s3Regs{valid: true, x: s2.x, y: s2.y, inRange: inRange})
+	} else {
+		p.s3.SetD(s3Regs{})
+	}
+
+	// S2: the four fixed multiplies.
+	if s1 := p.s1.Q(); s1.valid {
+		p.s2.SetD(s2Regs{
+			valid: true, x: s1.x, y: s1.y,
+			t2: fixed.Mul(s1.mapY, -s1.sin, fixed.TrigFrac),
+			t3: fixed.Mul(s1.mapX, s1.cos, fixed.TrigFrac),
+			t4: fixed.Mul(s1.mapX, s1.sin, fixed.TrigFrac),
+			t5: fixed.Mul(s1.mapY, s1.cos, fixed.TrigFrac),
+		})
+	} else {
+		p.s2.SetD(s2Regs{})
+	}
+
+	// S0+S1: raster generation, LUT lookup, centre offset, int→fixed.
+	if p.running.Q() {
+		pos := p.pos.Q()
+		x, y := pos%p.w, pos/p.w
+		idx := p.thetaIdx.Q()
+		p.s1.SetD(s1Regs{
+			valid: true, x: x, y: y,
+			sin:  p.lut.SinIdx(idx),
+			cos:  p.lut.CosIdx(idx),
+			mapX: fixed.FromInt(x-cx, fixed.CoordFrac),
+			mapY: fixed.FromInt(y-cy, fixed.CoordFrac),
+		})
+		if pos+1 >= p.w*p.h {
+			p.running.SetD(false)
+			p.pos.SetD(0)
+		} else {
+			p.pos.SetD(pos + 1)
+		}
+	} else {
+		p.s1.SetD(s1Regs{})
+	}
+}

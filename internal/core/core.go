@@ -1,0 +1,547 @@
+// Package core implements the paper's Sensor Fusion Algorithm: an
+// error-state extended Kalman filter that estimates the boresight
+// misalignment (roll, pitch, yaw) of a sensor-mounted two-axis
+// accelerometer (ACC) relative to the vehicle-fixed IMU, together with
+// the ACC's instrument errors, from the common specific-force observable
+// (Sections 3, 5 and 11 of the paper).
+//
+// # Model
+//
+// The vehicle's specific force f_b is measured in body axes by the IMU's
+// accelerometer triad. The ACC senses the same mechanical input rotated
+// into the sensor frame by the true misalignment and corrupted by its
+// own bias and scale-factor errors:
+//
+//	z = diag(1+s) · (C_b2s · f_b)[x,y] + b + noise
+//
+// The filter maintains a multiplicative attitude estimate Ĉ_s2b (as a
+// quaternion) and an error state
+//
+//	x = [δa₀ δa₁ δa₂, b_x b_y, s_x s_y, r_x r_y r_z]
+//
+// where δa is a small-angle rotation error folded back into the
+// quaternion after every update (so the linearisation point is always
+// current); the bias, scale and lever-arm blocks are optional. The
+// lever arm r models the sensor's mounting offset from the IMU, which
+// adds the centripetal term ω×(ω×r) to the force the ACC feels (fed via
+// StepFull's gyro input). Misalignment angles and instrument errors are
+// physically near-constant, so the process model is a random walk with
+// tiny spectral density.
+//
+// The innovation sequence and its 3σ envelope — the paper's Figure 8 —
+// are returned from every Step; the optional adaptive-noise mode
+// implements the paper's residual-driven retuning of the measurement
+// noise (raised from ~0.003–0.01 m/s² static to ≥0.015 m/s² moving).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"boresight/internal/geom"
+	"boresight/internal/kalman"
+	"boresight/internal/mat"
+)
+
+// Config parameterises the boresight estimator.
+type Config struct {
+	// EstimateBias adds the two ACC bias states.
+	EstimateBias bool
+	// EstimateScale adds the two ACC scale-factor states.
+	EstimateScale bool
+	// EstimateLever adds three lever-arm states (the sensor's mounting
+	// offset from the IMU, metres): under rotation the offset produces
+	// the centripetal difference ω×(ω×r), which turning manoeuvres
+	// make observable through the gyros — the self-referencing
+	// extension of the paper's Section 12.
+	EstimateLever bool
+
+	// InitAngleSigma is the 1σ prior on each misalignment angle (rad).
+	InitAngleSigma float64
+	// InitBiasSigma is the 1σ prior on each ACC bias (m/s²).
+	InitBiasSigma float64
+	// InitScaleSigma is the 1σ prior on each ACC scale error (unitless).
+	InitScaleSigma float64
+	// InitLeverSigma is the 1σ prior on each lever-arm component (m).
+	InitLeverSigma float64
+
+	// AngleWalk is the process-noise spectral density of the angles
+	// (rad/√s); near zero because mountings drift very slowly.
+	AngleWalk float64
+	// BiasWalk is the bias process density ((m/s²)/√s).
+	BiasWalk float64
+	// ScaleWalk is the scale process density (1/√s).
+	ScaleWalk float64
+	// LeverWalk is the lever-arm process density (m/√s).
+	LeverWalk float64
+
+	// MeasNoise is the per-axis measurement noise σ (m/s²) — the
+	// paper's central tuning knob.
+	MeasNoise float64
+
+	// Adaptive enables residual-driven measurement-noise retuning
+	// (Section 11): when the observed 3σ exceedance rate over
+	// AdaptWindow samples is far above the ~1%-consistent level the
+	// noise is raised, and it decays back toward MeasNoise when the
+	// residuals are quiet.
+	Adaptive    bool
+	AdaptWindow int
+
+	// GateSigma rejects measurements whose innovation Mahalanobis
+	// distance exceeds this many sigmas (0 disables). Gating protects
+	// the filter from outliers that survive the transport checksums —
+	// the flip side of the paper's residual monitoring.
+	GateSigma float64
+
+	// BumpRecovery enables the "continuously realigned" behaviour of
+	// the paper's Section 2: a sustained residual burst (a run of 3σ
+	// exceedances far too long for noise) means the mounting physically
+	// moved — a car-park bump — and the filter reopens its angle
+	// covariance so the new alignment is re-acquired in seconds rather
+	// than drifting in over the angle random walk.
+	BumpRecovery bool
+}
+
+// DefaultConfig returns the configuration used by the paper-replication
+// experiments: full state (angles + bias + scale), 5° angle prior, and
+// the static-test measurement noise.
+func DefaultConfig() Config {
+	return Config{
+		EstimateBias:   true,
+		EstimateScale:  true,
+		InitAngleSigma: geom.Deg2Rad(5),
+		InitBiasSigma:  0.05,
+		InitScaleSigma: 0.01,
+		InitLeverSigma: 0.5,
+		LeverWalk:      1e-6,
+		AngleWalk:      1e-6,
+		BiasWalk:       1e-6,
+		ScaleWalk:      1e-7,
+		MeasNoise:      0.01,
+		AdaptWindow:    200,
+		GateSigma:      6,
+	}
+}
+
+// State indices within the error-state vector.
+const (
+	ixA0 = iota // δa roll component
+	ixA1        // δa pitch component
+	ixA2        // δa yaw component
+)
+
+// Estimator is the boresight sensor-fusion filter.
+type Estimator struct {
+	cfg Config
+	kf  *kalman.Filter
+	// att is the estimated sensor-to-body rotation Ĉ_s2b.
+	att geom.Quat
+	// State indices for the optional blocks; -1 when absent.
+	ibx, iby, isx, isy, ilv int
+	n                       int
+	// Current adapted measurement noise σ.
+	measNoise float64
+	// Low-passed body angular rate for the lever-arm Jacobian.
+	wLP geom.Vec3
+	// Low-passed sensor-frame specific force used for the Jacobian.
+	// Evaluating H with the raw (noisy) IMU sample correlates the
+	// regressor with the measurement noise, which lets the filter mine
+	// noise as phantom observability of the scale states and collapse
+	// its covariance dishonestly; a ~0.5 s low-pass decorrelates them,
+	// the standard practice in transfer-alignment filters.
+	fsLP    geom.Vec3
+	fsLPSet bool
+	// Exceedance history ring for adaptation.
+	exceed  []bool
+	exIdx   int
+	exN     int
+	steps   int
+	gated   int
+	gateRun int
+	// Consecutive 3σ exceedances, bump-recovery events and the
+	// post-reopening cooldown countdown.
+	exRun        int
+	bumps        int
+	bumpCooldown int
+}
+
+// bumpThreshold is the consecutive-exceedance run that triggers a
+// covariance reopening when BumpRecovery is on. Consistent noise
+// produces ~1% exceedances, so a run of this length is (1/100)^25-class
+// improbable without a model change.
+const bumpThreshold = 25
+
+// bumpCooldownSteps suppresses re-detection after a reopening long
+// enough for every axis — including yaw, which needs acceleration
+// events — to re-converge before the residuals are judged again.
+const bumpCooldownSteps = 2000
+
+// gateBreakthrough is the consecutive-rejection count after which the
+// innovation gate yields (see Step).
+const gateBreakthrough = 50
+
+// New builds an estimator with the given configuration. The initial
+// misalignment estimate is zero (sensor assumed aligned) with the
+// configured priors.
+func New(cfg Config) *Estimator {
+	if cfg.MeasNoise <= 0 {
+		panic("core: MeasNoise must be positive")
+	}
+	if cfg.InitAngleSigma <= 0 {
+		panic("core: InitAngleSigma must be positive")
+	}
+	n := 3
+	e := &Estimator{cfg: cfg, att: geom.IdentityQuat(), ibx: -1, iby: -1, isx: -1, isy: -1, ilv: -1}
+	if cfg.EstimateBias {
+		e.ibx, e.iby = n, n+1
+		n += 2
+	}
+	if cfg.EstimateScale {
+		e.isx, e.isy = n, n+1
+		n += 2
+	}
+	if cfg.EstimateLever {
+		if cfg.InitLeverSigma <= 0 {
+			panic("core: InitLeverSigma must be positive with EstimateLever")
+		}
+		e.ilv = n
+		n += 3
+	}
+	e.n = n
+	e.kf = kalman.New(n)
+	diag := make([]float64, n)
+	diag[ixA0] = cfg.InitAngleSigma * cfg.InitAngleSigma
+	diag[ixA1] = diag[ixA0]
+	diag[ixA2] = diag[ixA0]
+	if cfg.EstimateBias {
+		diag[e.ibx] = cfg.InitBiasSigma * cfg.InitBiasSigma
+		diag[e.iby] = diag[e.ibx]
+	}
+	if cfg.EstimateScale {
+		diag[e.isx] = cfg.InitScaleSigma * cfg.InitScaleSigma
+		diag[e.isy] = diag[e.isx]
+	}
+	if cfg.EstimateLever {
+		for k := 0; k < 3; k++ {
+			diag[e.ilv+k] = cfg.InitLeverSigma * cfg.InitLeverSigma
+		}
+	}
+	e.kf.SetP(mat.Diag(diag...))
+	e.measNoise = cfg.MeasNoise
+	w := cfg.AdaptWindow
+	if w <= 0 {
+		w = 200
+	}
+	e.exceed = make([]bool, w)
+	return e
+}
+
+// Dim returns the filter state dimension.
+func (e *Estimator) Dim() int { return e.n }
+
+// SetInitialBias seeds the bias states (from a calibration pass) and
+// tightens their prior to the given sigma. No-op when bias states are
+// disabled.
+func (e *Estimator) SetInitialBias(bx, by, sigma float64) {
+	if e.ibx < 0 {
+		return
+	}
+	x := e.kf.State()
+	x[e.ibx], x[e.iby] = bx, by
+	e.kf.SetState(x)
+	p := e.kf.P()
+	p.Set(e.ibx, e.ibx, sigma*sigma)
+	p.Set(e.iby, e.iby, sigma*sigma)
+	e.kf.SetP(p)
+}
+
+// Step processes one synchronised measurement pair: the IMU's body-axis
+// specific force and the ACC's two sensor-axis readings, dt seconds
+// after the previous step. It returns the innovation statistics (the
+// residuals and 3σ envelope of the paper's Figure 8). Angular rate is
+// taken as zero; use StepFull to feed the gyros (required when lever-arm
+// states are enabled).
+func (e *Estimator) Step(dt float64, fBody geom.Vec3, accX, accY float64) (kalman.Innovation, error) {
+	return e.StepFull(dt, fBody, geom.Vec3{}, accX, accY)
+}
+
+// StepFull is Step with the IMU's measured body angular rate, which the
+// lever-arm model needs: the ACC's location feels the extra centripetal
+// acceleration ω×(ω×r) relative to the IMU.
+func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY float64) (kalman.Innovation, error) {
+	if dt <= 0 {
+		return kalman.Innovation{}, fmt.Errorf("core: non-positive dt %v", dt)
+	}
+	// Process model: random walk.
+	q := make([]float64, e.n)
+	q[ixA0] = e.cfg.AngleWalk * e.cfg.AngleWalk * dt
+	q[ixA1], q[ixA2] = q[ixA0], q[ixA0]
+	if e.ibx >= 0 {
+		q[e.ibx] = e.cfg.BiasWalk * e.cfg.BiasWalk * dt
+		q[e.iby] = q[e.ibx]
+	}
+	if e.isx >= 0 {
+		q[e.isx] = e.cfg.ScaleWalk * e.cfg.ScaleWalk * dt
+		q[e.isy] = q[e.isx]
+	}
+	if e.ilv >= 0 {
+		for k := 0; k < 3; k++ {
+			q[e.ilv+k] = e.cfg.LeverWalk * e.cfg.LeverWalk * dt
+		}
+	}
+	e.kf.PredictAdditive(mat.Diag(q...))
+
+	x := e.kf.State()
+
+	// Body-frame force at the ACC's location: the IMU measurement plus
+	// the centripetal difference over the estimated lever arm.
+	fAtACC := fBody
+	if e.ilv >= 0 {
+		r := geom.Vec3{x[e.ilv], x[e.ilv+1], x[e.ilv+2]}
+		fAtACC = fAtACC.Add(omega.Cross(omega.Cross(r)))
+	}
+
+	// Predicted sensor-frame specific force at the current linearisation
+	// point, and its low-passed version for the Jacobian.
+	fs := e.att.Conj().Apply(fAtACC)
+	const tau = 0.5 // seconds
+	alpha := dt / (tau + dt)
+	if !e.fsLPSet {
+		e.fsLP = fs
+		e.wLP = omega
+		e.fsLPSet = true
+	} else {
+		e.fsLP = e.fsLP.Add(fs.Sub(e.fsLP).Scale(alpha))
+		e.wLP = e.wLP.Add(omega.Sub(e.wLP).Scale(alpha))
+	}
+	fj := e.fsLP
+	bx, by, sx, sy := 0.0, 0.0, 0.0, 0.0
+	if e.ibx >= 0 {
+		bx, by = x[e.ibx], x[e.iby]
+	}
+	if e.isx >= 0 {
+		sx, sy = x[e.isx], x[e.isy]
+	}
+	h := []float64{
+		(1+sx)*fs[0] + bx,
+		(1+sy)*fs[1] + by,
+	}
+	// Jacobian: f_s(true) = (I − [δa×])·f̂_s = f̂_s + [f̂_s×]·δa,
+	// evaluated with the low-passed force (see fsLP).
+	H := mat.New(2, e.n)
+	H.Set(0, ixA0, 0)
+	H.Set(0, ixA1, (1+sx)*(-fj[2]))
+	H.Set(0, ixA2, (1+sx)*fj[1])
+	H.Set(1, ixA0, (1+sy)*fj[2])
+	H.Set(1, ixA1, 0)
+	H.Set(1, ixA2, (1+sy)*(-fj[0]))
+	if e.ibx >= 0 {
+		H.Set(0, e.ibx, 1)
+		H.Set(1, e.iby, 1)
+	}
+	if e.isx >= 0 {
+		H.Set(0, e.isx, fj[0])
+		H.Set(1, e.isy, fj[1])
+	}
+	if e.ilv >= 0 {
+		// ∂(ω×(ω×r))/∂r = ωωᵀ − |ω|²I, rotated into the sensor frame;
+		// the low-passed rate keeps the regressor decorrelated from
+		// gyro noise (same reasoning as fsLP).
+		w := e.wLP
+		w2 := w.Dot(w)
+		for j := 0; j < 3; j++ {
+			col := w.Scale(w[j])
+			col[j] -= w2
+			rot := e.att.Conj().Apply(col)
+			H.Set(0, e.ilv+j, (1+sx)*rot[0])
+			H.Set(1, e.ilv+j, (1+sy)*rot[1])
+		}
+	}
+	r := e.measNoise * e.measNoise
+	R := mat.Diag(r, r)
+	z := []float64{accX, accY}
+
+	// Innovation gate: an outlier that slipped past the transport
+	// checksums would slam the state; reject anything implausibly far
+	// outside the innovation covariance. A long unbroken run of
+	// rejections means the filter itself is wrong (gate lockout, e.g.
+	// after covariance over-collapse), so the gate breaks through and
+	// accepts a measurement to let the filter re-converge — isolated
+	// outliers can essentially never produce such a run.
+	if e.cfg.GateSigma > 0 {
+		pre, err := e.kf.InnovationOnly(z, h, H, R)
+		if err != nil {
+			return pre, err
+		}
+		if pre.Mahalanobis > e.cfg.GateSigma && e.gateRun < gateBreakthrough {
+			e.gated++
+			e.gateRun++
+			e.steps++
+			// A gated measurement is by construction a 3σ exceedance;
+			// a sustained run of them is the bump signature.
+			e.noteBump(true)
+			return pre, nil
+		}
+		e.gateRun = 0
+	}
+
+	inn, err := e.kf.Update(z, h, H, R)
+	if err != nil {
+		return inn, err
+	}
+
+	// Fold the small-angle correction into the attitude and zero it in
+	// the error state, keeping the linearisation point current.
+	x = e.kf.State()
+	da := geom.Vec3{x[ixA0], x[ixA1], x[ixA2]}
+	if n := da.Norm(); n > 0 {
+		e.att = e.att.Mul(geom.QuatFromAxisAngle(da, n))
+	}
+	x[ixA0], x[ixA1], x[ixA2] = 0, 0, 0
+	e.kf.SetState(x)
+
+	e.steps++
+	if e.cfg.Adaptive {
+		e.adapt(inn)
+	}
+	e.noteBump(inn.Exceeds3Sigma())
+	return inn, nil
+}
+
+// noteBump tracks the consecutive-exceedance run and reopens the angle
+// covariance when a mounting disturbance is the only plausible cause.
+func (e *Estimator) noteBump(exceeded bool) {
+	if !e.cfg.BumpRecovery {
+		return
+	}
+	if e.bumpCooldown > 0 {
+		e.bumpCooldown--
+		e.exRun = 0
+		return
+	}
+	if !exceeded {
+		e.exRun = 0
+		return
+	}
+	e.exRun++
+	if e.exRun >= bumpThreshold {
+		e.reopenAngles()
+		e.exRun = 0
+		e.bumpCooldown = bumpCooldownSteps
+	}
+}
+
+// reopenAngles resets the misalignment covariance to the prior and
+// severs the angle states' cross-covariances — the knock invalidated
+// everything the filter had learned about the angles, including their
+// correlations with the instrument states (which remain valid, because
+// the instruments did not change).
+func (e *Estimator) reopenAngles() {
+	p := e.kf.P()
+	v := e.cfg.InitAngleSigma * e.cfg.InitAngleSigma
+	for i := 0; i < 3; i++ {
+		for j := 0; j < e.n; j++ {
+			p.Set(i, j, 0)
+			p.Set(j, i, 0)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		p.Set(i, i, v)
+	}
+	e.kf.SetP(p)
+	e.bumps++
+}
+
+// Bumps returns how many covariance reopenings the bump detector has
+// triggered.
+func (e *Estimator) Bumps() int { return e.bumps }
+
+// Misalignment returns the current boresight estimate as roll/pitch/yaw
+// of the sensor frame relative to the vehicle body.
+func (e *Estimator) Misalignment() geom.Euler { return e.att.Euler() }
+
+// AngleSigmas returns the 1σ uncertainty of the three misalignment
+// angles (rad); the paper's confidence figures are 3× these.
+func (e *Estimator) AngleSigmas() geom.Vec3 {
+	return geom.Vec3{e.kf.Sigma(ixA0), e.kf.Sigma(ixA1), e.kf.Sigma(ixA2)}
+}
+
+// Biases returns the estimated ACC biases (0, 0 when disabled).
+func (e *Estimator) Biases() (bx, by float64) {
+	if e.ibx < 0 {
+		return 0, 0
+	}
+	x := e.kf.State()
+	return x[e.ibx], x[e.iby]
+}
+
+// BiasSigmas returns the 1σ uncertainty of the bias states.
+func (e *Estimator) BiasSigmas() (sx, sy float64) {
+	if e.ibx < 0 {
+		return 0, 0
+	}
+	return e.kf.Sigma(e.ibx), e.kf.Sigma(e.iby)
+}
+
+// Scales returns the estimated ACC scale-factor errors (0, 0 when
+// disabled).
+func (e *Estimator) Scales() (sx, sy float64) {
+	if e.isx < 0 {
+		return 0, 0
+	}
+	x := e.kf.State()
+	return x[e.isx], x[e.isy]
+}
+
+// Lever returns the estimated lever arm (zero vector when disabled).
+func (e *Estimator) Lever() geom.Vec3 {
+	if e.ilv < 0 {
+		return geom.Vec3{}
+	}
+	x := e.kf.State()
+	return geom.Vec3{x[e.ilv], x[e.ilv+1], x[e.ilv+2]}
+}
+
+// LeverSigmas returns the 1σ uncertainty of the lever-arm states.
+func (e *Estimator) LeverSigmas() geom.Vec3 {
+	if e.ilv < 0 {
+		return geom.Vec3{}
+	}
+	return geom.Vec3{e.kf.Sigma(e.ilv), e.kf.Sigma(e.ilv + 1), e.kf.Sigma(e.ilv + 2)}
+}
+
+// MeasNoise returns the current (possibly adapted) measurement noise σ.
+func (e *Estimator) MeasNoise() float64 { return e.measNoise }
+
+// Steps returns the number of measurement updates processed.
+func (e *Estimator) Steps() int { return e.steps }
+
+// Gated returns the number of measurements the innovation gate rejected.
+func (e *Estimator) Gated() int { return e.gated }
+
+// adapt implements the paper's residual-driven noise tuning: residuals
+// should exceed their 3σ envelope about once per hundred samples; a much
+// higher rate means the modelled noise is too small for the environment
+// (vehicle vibration), so σ is inflated. When the rate falls back the
+// noise decays toward the configured floor.
+func (e *Estimator) adapt(inn kalman.Innovation) {
+	e.exceed[e.exIdx] = inn.Exceeds3Sigma()
+	e.exIdx = (e.exIdx + 1) % len(e.exceed)
+	if e.exN < len(e.exceed) {
+		e.exN++
+		return // wait for a full window before adapting
+	}
+	count := 0
+	for _, b := range e.exceed {
+		if b {
+			count++
+		}
+	}
+	rate := float64(count) / float64(len(e.exceed))
+	switch {
+	case rate > 0.05:
+		e.measNoise = math.Min(e.measNoise*1.05, 10*e.cfg.MeasNoise)
+	case rate < 0.005 && e.measNoise > e.cfg.MeasNoise:
+		e.measNoise = math.Max(e.measNoise*0.995, e.cfg.MeasNoise)
+	}
+}

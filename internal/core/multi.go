@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"boresight/internal/geom"
+	"boresight/internal/kalman"
+	"boresight/internal/mat"
+)
+
+// MultiEstimator implements the paper's proposed extension (Section
+// 12): "the fusion engine … can readily be extended to fuse data from
+// multiple sensors together (eg. lidar and video) to provide low-cost
+// situational awareness" — the self-aligning, self-referencing
+// multi-sensor case. Each instrumented sensor carries its own two-axis
+// accelerometer; a single joint filter estimates every sensor's
+// misalignment relative to the IMU simultaneously, processing all
+// readings in one stacked update so cross-sensor correlations are
+// carried, and exposes the *relative* alignment between any sensor pair
+// (what fusing lidar returns with camera pixels actually requires).
+type MultiEstimator struct {
+	cfg     Config
+	kf      *kalman.Filter
+	sensors []sensorBlock
+	per     int // states per sensor
+	// Shared low-passed sensor-frame force per sensor for the Jacobian.
+	steps int
+}
+
+type sensorBlock struct {
+	att     geom.Quat // estimated sensor-to-body rotation
+	base    int       // first state index of this sensor's block
+	fsLP    geom.Vec3
+	fsLPSet bool
+}
+
+// NewMulti builds a joint estimator for n sensors, each modelled with
+// the same per-sensor configuration.
+func NewMulti(n int, cfg Config) *MultiEstimator {
+	if n < 1 {
+		panic("core: NewMulti needs at least one sensor")
+	}
+	if cfg.MeasNoise <= 0 || cfg.InitAngleSigma <= 0 {
+		panic("core: noise parameters must be positive")
+	}
+	per := 3
+	if cfg.EstimateBias {
+		per += 2
+	}
+	if cfg.EstimateScale {
+		per += 2
+	}
+	m := &MultiEstimator{cfg: cfg, per: per}
+	m.kf = kalman.New(n * per)
+	diag := make([]float64, n*per)
+	for s := 0; s < n; s++ {
+		base := s * per
+		m.sensors = append(m.sensors, sensorBlock{att: geom.IdentityQuat(), base: base})
+		diag[base] = cfg.InitAngleSigma * cfg.InitAngleSigma
+		diag[base+1] = diag[base]
+		diag[base+2] = diag[base]
+		idx := base + 3
+		if cfg.EstimateBias {
+			diag[idx] = cfg.InitBiasSigma * cfg.InitBiasSigma
+			diag[idx+1] = diag[idx]
+			idx += 2
+		}
+		if cfg.EstimateScale {
+			diag[idx] = cfg.InitScaleSigma * cfg.InitScaleSigma
+			diag[idx+1] = diag[idx]
+		}
+	}
+	m.kf.SetP(mat.Diag(diag...))
+	return m
+}
+
+// Sensors returns the number of jointly estimated sensors.
+func (m *MultiEstimator) Sensors() int { return len(m.sensors) }
+
+// Reading is one sensor's ACC sample for a Step; Valid false marks a
+// dropout (that sensor contributes no rows this update).
+type Reading struct {
+	FX, FY float64
+	Valid  bool
+}
+
+// Step processes one synchronised epoch: the shared IMU specific force
+// and one reading per sensor, as a single stacked measurement update.
+func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) error {
+	if dt <= 0 {
+		return fmt.Errorf("core: non-positive dt %v", dt)
+	}
+	if len(readings) != len(m.sensors) {
+		return fmt.Errorf("core: %d readings for %d sensors", len(readings), len(m.sensors))
+	}
+	n := m.kf.Dim()
+
+	// Process noise.
+	q := make([]float64, n)
+	for s := range m.sensors {
+		base := m.sensors[s].base
+		q[base] = m.cfg.AngleWalk * m.cfg.AngleWalk * dt
+		q[base+1], q[base+2] = q[base], q[base]
+		idx := base + 3
+		if m.cfg.EstimateBias {
+			q[idx] = m.cfg.BiasWalk * m.cfg.BiasWalk * dt
+			q[idx+1] = q[idx]
+			idx += 2
+		}
+		if m.cfg.EstimateScale {
+			q[idx] = m.cfg.ScaleWalk * m.cfg.ScaleWalk * dt
+			q[idx+1] = q[idx]
+		}
+	}
+	m.kf.PredictAdditive(mat.Diag(q...))
+
+	// Count active rows.
+	active := 0
+	for _, r := range readings {
+		if r.Valid {
+			active++
+		}
+	}
+	m.steps++
+	if active == 0 {
+		return nil
+	}
+
+	x := m.kf.State()
+	z := make([]float64, 0, 2*active)
+	h := make([]float64, 0, 2*active)
+	H := mat.New(2*active, n)
+	rdiag := make([]float64, 0, 2*active)
+	row := 0
+	const tau = 0.5
+	alpha := dt / (tau + dt)
+	for s := range m.sensors {
+		blk := &m.sensors[s]
+		fs := blk.att.Conj().Apply(fBody)
+		if !blk.fsLPSet {
+			blk.fsLP, blk.fsLPSet = fs, true
+		} else {
+			blk.fsLP = blk.fsLP.Add(fs.Sub(blk.fsLP).Scale(alpha))
+		}
+		if !readings[s].Valid {
+			continue
+		}
+		fj := blk.fsLP
+		base := blk.base
+		bx, by, sx, sy := 0.0, 0.0, 0.0, 0.0
+		idx := base + 3
+		ib := -1
+		if m.cfg.EstimateBias {
+			ib = idx
+			bx, by = x[idx], x[idx+1]
+			idx += 2
+		}
+		is := -1
+		if m.cfg.EstimateScale {
+			is = idx
+			sx, sy = x[idx], x[idx+1]
+		}
+		z = append(z, readings[s].FX, readings[s].FY)
+		h = append(h, (1+sx)*fs[0]+bx, (1+sy)*fs[1]+by)
+		H.Set(row, base+1, (1+sx)*(-fj[2]))
+		H.Set(row, base+2, (1+sx)*fj[1])
+		H.Set(row+1, base, (1+sy)*fj[2])
+		H.Set(row+1, base+2, (1+sy)*(-fj[0]))
+		if ib >= 0 {
+			H.Set(row, ib, 1)
+			H.Set(row+1, ib+1, 1)
+		}
+		if is >= 0 {
+			H.Set(row, is, fj[0])
+			H.Set(row+1, is+1, fj[1])
+		}
+		r := m.cfg.MeasNoise * m.cfg.MeasNoise
+		rdiag = append(rdiag, r, r)
+		row += 2
+	}
+
+	if _, err := m.kf.Update(z, h, H, mat.Diag(rdiag...)); err != nil {
+		return err
+	}
+
+	// Fold each sensor's angle correction and zero its error state.
+	x = m.kf.State()
+	for s := range m.sensors {
+		base := m.sensors[s].base
+		da := geom.Vec3{x[base], x[base+1], x[base+2]}
+		if nn := da.Norm(); nn > 0 {
+			m.sensors[s].att = m.sensors[s].att.Mul(geom.QuatFromAxisAngle(da, nn))
+		}
+		x[base], x[base+1], x[base+2] = 0, 0, 0
+	}
+	m.kf.SetState(x)
+	return nil
+}
+
+// Misalignment returns sensor i's estimated misalignment relative to
+// the IMU/vehicle.
+func (m *MultiEstimator) Misalignment(i int) geom.Euler {
+	return m.sensors[i].att.Euler()
+}
+
+// AngleSigmas returns the 1σ uncertainties of sensor i's angles.
+func (m *MultiEstimator) AngleSigmas(i int) geom.Vec3 {
+	base := m.sensors[i].base
+	return geom.Vec3{m.kf.Sigma(base), m.kf.Sigma(base + 1), m.kf.Sigma(base + 2)}
+}
+
+// Relative returns the rotation taking sensor j's frame to sensor i's
+// frame — the cross-sensor alignment needed to overlay their data (e.g.
+// lidar returns onto camera pixels) — with a conservative combined 1σ
+// per axis.
+func (m *MultiEstimator) Relative(i, j int) (geom.Euler, geom.Vec3) {
+	rel := m.sensors[i].att.Conj().Mul(m.sensors[j].att)
+	si := m.AngleSigmas(i)
+	sj := m.AngleSigmas(j)
+	var sig geom.Vec3
+	for k := 0; k < 3; k++ {
+		sig[k] = math.Sqrt(si[k]*si[k] + sj[k]*sj[k])
+	}
+	return rel.Euler(), sig
+}
+
+// Steps returns the number of epochs processed.
+func (m *MultiEstimator) Steps() int { return m.steps }

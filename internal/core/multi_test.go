@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boresight/internal/geom"
+)
+
+func multiPoses() []geom.Euler {
+	return []geom.Euler{
+		geom.EulerDeg(0, 0, 0),
+		geom.EulerDeg(0, 20, 0),
+		geom.EulerDeg(0, -20, 0),
+		geom.EulerDeg(20, 0, 0),
+	}
+}
+
+func TestMultiRecoversTwoSensors(t *testing.T) {
+	misA := geom.EulerDeg(1.5, -2.0, 1.0)  // camera
+	misB := geom.EulerDeg(-0.8, 0.6, -1.2) // lidar
+	cfg := anglesOnlyConfig()
+	m := NewMulti(2, cfg)
+	rng := rand.New(rand.NewSource(1))
+	poses := multiPoses()
+	for i := 0; i < 20000; i++ {
+		f := tiltForce(poses[(i/2500)%len(poses)])
+		ax, ay := accReading(misA, f, 0, 0, 0, 0)
+		bx, by := accReading(misB, f, 0, 0, 0, 0)
+		readings := []Reading{
+			{FX: ax + rng.NormFloat64()*0.008, FY: ay + rng.NormFloat64()*0.008, Valid: true},
+			{FX: bx + rng.NormFloat64()*0.008, FY: by + rng.NormFloat64()*0.008, Valid: true},
+		}
+		if err := m.Step(0.01, f, readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s, want := range []geom.Euler{misA, misB} {
+		got := m.Misalignment(s)
+		if math.Abs(geom.Rad2Deg(got.Roll-want.Roll)) > 0.05 ||
+			math.Abs(geom.Rad2Deg(got.Pitch-want.Pitch)) > 0.05 ||
+			math.Abs(geom.Rad2Deg(got.Yaw-want.Yaw)) > 0.05 {
+			r, p, y := got.Deg()
+			wr, wp, wy := want.Deg()
+			t.Errorf("sensor %d: (%v, %v, %v)°, want (%v, %v, %v)°", s, r, p, y, wr, wp, wy)
+		}
+	}
+}
+
+func TestMultiRelativeAlignment(t *testing.T) {
+	misA := geom.EulerDeg(2, 0, 0)
+	misB := geom.EulerDeg(0, 0, 2)
+	m := NewMulti(2, anglesOnlyConfig())
+	poses := multiPoses()
+	for i := 0; i < 12000; i++ {
+		f := tiltForce(poses[(i/1500)%len(poses)])
+		ax, ay := accReading(misA, f, 0, 0, 0, 0)
+		bx, by := accReading(misB, f, 0, 0, 0, 0)
+		if err := m.Step(0.01, f, []Reading{
+			{FX: ax, FY: ay, Valid: true},
+			{FX: bx, FY: by, Valid: true},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, sig := m.Relative(0, 1)
+	// Truth: C_a2b... the relative rotation from sensor B frame to
+	// sensor A frame is C(misA)ᵀ·C(misB).
+	want := misA.DCM().T().Mul(misB.DCM()).Euler()
+	if math.Abs(geom.Rad2Deg(rel.Roll-want.Roll)) > 0.05 ||
+		math.Abs(geom.Rad2Deg(rel.Pitch-want.Pitch)) > 0.05 ||
+		math.Abs(geom.Rad2Deg(rel.Yaw-want.Yaw)) > 0.05 {
+		t.Fatalf("relative = %v, want %v", rel, want)
+	}
+	for k, s := range sig {
+		if s <= 0 || s > geom.Deg2Rad(1) {
+			t.Fatalf("relative sigma[%d] = %v implausible", k, s)
+		}
+	}
+}
+
+func TestMultiToleratesDropouts(t *testing.T) {
+	// Sensor B drops out half the time; both must still converge.
+	misA := geom.EulerDeg(1, -1, 0.5)
+	misB := geom.EulerDeg(-1, 1, -0.5)
+	m := NewMulti(2, anglesOnlyConfig())
+	rng := rand.New(rand.NewSource(3))
+	poses := multiPoses()
+	for i := 0; i < 20000; i++ {
+		f := tiltForce(poses[(i/2500)%len(poses)])
+		ax, ay := accReading(misA, f, 0, 0, 0, 0)
+		bx, by := accReading(misB, f, 0, 0, 0, 0)
+		readings := []Reading{
+			{FX: ax + rng.NormFloat64()*0.01, FY: ay + rng.NormFloat64()*0.01, Valid: true},
+			{FX: bx + rng.NormFloat64()*0.01, FY: by + rng.NormFloat64()*0.01, Valid: i%2 == 0},
+		}
+		if err := m.Step(0.01, f, readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gb := m.Misalignment(1)
+	if math.Abs(geom.Rad2Deg(gb.Roll-misB.Roll)) > 0.1 {
+		t.Fatalf("dropout sensor roll = %v°", geom.Rad2Deg(gb.Roll))
+	}
+	// The dropout sensor is less certain than the continuous one.
+	sa, sb := m.AngleSigmas(0), m.AngleSigmas(1)
+	if sb[0] <= sa[0] {
+		t.Fatalf("dropout sensor sigma %v not larger than continuous %v", sb[0], sa[0])
+	}
+}
+
+func TestMultiAllInvalidEpoch(t *testing.T) {
+	m := NewMulti(2, anglesOnlyConfig())
+	f := tiltForce(geom.Euler{})
+	if err := m.Step(0.01, f, []Reading{{}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() != 1 {
+		t.Fatalf("steps = %d", m.Steps())
+	}
+}
+
+func TestMultiWithBiasStates(t *testing.T) {
+	misA := geom.EulerDeg(1, -1, 0.8)
+	cfg := DefaultConfig()
+	cfg.EstimateScale = false
+	m := NewMulti(1, cfg)
+	rng := rand.New(rand.NewSource(4))
+	poses := []geom.Euler{
+		geom.EulerDeg(0, 0, 0),
+		geom.EulerDeg(0, 30, 0),
+		geom.EulerDeg(0, -30, 0),
+		geom.EulerDeg(30, 0, 0),
+		geom.EulerDeg(-30, 0, 0),
+	}
+	bx, by := 0.04, -0.03
+	for i := 0; i < 30000; i++ {
+		f := tiltForce(poses[(i/1000)%len(poses)])
+		ax, ay := accReading(misA, f, bx, by, 0, 0)
+		if err := m.Step(0.01, f, []Reading{
+			{FX: ax + rng.NormFloat64()*0.005, FY: ay + rng.NormFloat64()*0.005, Valid: true},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Misalignment(0)
+	if math.Abs(geom.Rad2Deg(got.Yaw-misA.Yaw)) > 0.1 {
+		t.Fatalf("yaw = %v°, want 0.8°", geom.Rad2Deg(got.Yaw))
+	}
+}
+
+func TestMultiMatchesSingleSensorFilter(t *testing.T) {
+	// A 1-sensor MultiEstimator must agree with the plain Estimator on
+	// identical data.
+	mis := geom.EulerDeg(1.2, -0.7, 0.9)
+	cfg := anglesOnlyConfig()
+	single := New(cfg)
+	multi := NewMulti(1, cfg)
+	rng := rand.New(rand.NewSource(5))
+	poses := multiPoses()
+	for i := 0; i < 5000; i++ {
+		f := tiltForce(poses[(i/1000)%len(poses)])
+		zx, zy := accReading(mis, f, 0, 0, 0, 0)
+		zx += rng.NormFloat64() * 0.01
+		zy += rng.NormFloat64() * 0.01
+		if _, err := single.Step(0.01, f, zx, zy); err != nil {
+			t.Fatal(err)
+		}
+		if err := multi.Step(0.01, f, []Reading{{FX: zx, FY: zy, Valid: true}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := single.Misalignment(), multi.Misalignment(0)
+	if math.Abs(a.Roll-b.Roll) > 1e-9 || math.Abs(a.Pitch-b.Pitch) > 1e-9 ||
+		math.Abs(a.Yaw-b.Yaw) > 1e-9 {
+		t.Fatalf("single %v vs multi %v", a, b)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewMulti(0) accepted")
+			}
+		}()
+		NewMulti(0, anglesOnlyConfig())
+	}()
+	m := NewMulti(2, anglesOnlyConfig())
+	if err := m.Step(0.01, geom.Vec3{}, []Reading{{}}); err == nil {
+		t.Error("wrong reading count accepted")
+	}
+	if err := m.Step(0, geom.Vec3{}, []Reading{{}, {}}); err == nil {
+		t.Error("dt=0 accepted")
+	}
+	if m.Sensors() != 2 {
+		t.Errorf("Sensors = %d", m.Sensors())
+	}
+}
+
+func BenchmarkMultiStepThreeSensors(b *testing.B) {
+	m := NewMulti(3, anglesOnlyConfig())
+	f := tiltForce(geom.EulerDeg(0, 10, 0))
+	readings := make([]Reading, 3)
+	for s := range readings {
+		mis := geom.EulerDeg(float64(s), -float64(s), 0.5)
+		zx, zy := accReading(mis, f, 0, 0, 0, 0)
+		readings[s] = Reading{FX: zx, FY: zy, Valid: true}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(0.01, f, readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"boresight/internal/affine"
+	"boresight/internal/fixed"
+	"boresight/internal/fxcore"
+	"boresight/internal/geom"
+	"boresight/internal/hcsim"
+	"boresight/internal/rc200"
+	"boresight/internal/sabre"
+	"boresight/internal/system"
+	"boresight/internal/video"
+)
+
+// FixedPointRow compares the fixed-point video path against the float
+// reference at one rotation angle.
+type FixedPointRow struct {
+	AngleDeg    float64
+	PSNRdB      float64
+	MeanAbsDiff float64
+}
+
+// AblationFixedPoint quantifies Section 12's "full fixed-point
+// analysis": the 16-bit LUT datapath against the float64 reference
+// across a rotation sweep on the synthetic road scene.
+func AblationFixedPoint(w io.Writer) []FixedPointRow {
+	src := video.RoadScene{W: 320, H: 240}.Render()
+	ft := affine.NewFixedTransformer(fixed.NewTrig(1024, fixed.TrigFrac))
+	fmt.Fprintln(w, "Ablation: fixed-point (Q9.6 / Q1.14, 1024-entry LUT) vs float64 affine")
+	fmt.Fprintf(w, "%10s %12s %14s\n", "angle (°)", "PSNR (dB)", "mean |diff|")
+	var rows []FixedPointRow
+	for _, deg := range []float64{0.5, 1, 2, 5, 10, 20} {
+		p := affine.Params{Theta: geom.Deg2Rad(deg)}
+		fx := ft.Transform(src, p)
+		fl := affine.TransformFloat(src, p, false)
+		row := FixedPointRow{
+			AngleDeg:    deg,
+			PSNRdB:      video.PSNR(fx, fl),
+			MeanAbsDiff: video.MeanAbsDiff(fx, fl),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%10.1f %12.2f %14.3f\n", row.AngleDeg, row.PSNRdB, row.MeanAbsDiff)
+	}
+	return rows
+}
+
+// LUTRow is one LUT-size ablation entry.
+type LUTRow struct {
+	Size        int
+	MaxTrigErr  float64
+	MeanAbsDiff float64 // image difference vs float reference at 3.3°
+}
+
+// AblationLUTSize sweeps the sine/cosine table size around the paper's
+// 1024 entries.
+func AblationLUTSize(w io.Writer) []LUTRow {
+	src := video.RoadScene{W: 160, H: 120}.Render()
+	p := affine.Params{Theta: geom.Deg2Rad(3.3)}
+	ref := affine.TransformFloat(src, p, false)
+	fmt.Fprintln(w, "Ablation: sin/cos LUT size (paper uses 1024)")
+	fmt.Fprintf(w, "%8s %14s %16s\n", "entries", "max trig err", "img mean |diff|")
+	var rows []LUTRow
+	for _, n := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+		lut := fixed.NewTrig(n, fixed.TrigFrac)
+		ft := affine.NewFixedTransformer(lut)
+		row := LUTRow{
+			Size:        n,
+			MaxTrigErr:  lut.MaxError(),
+			MeanAbsDiff: video.MeanAbsDiff(ft.Transform(src, p), ref),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%8d %14.6f %16.3f\n", row.Size, row.MaxTrigErr, row.MeanAbsDiff)
+	}
+	return rows
+}
+
+// NoiseRow is one measurement-noise ablation entry.
+type NoiseRow struct {
+	MeasNoise      float64
+	SumErrDeg      float64
+	ExceedanceRate float64
+}
+
+// AblationNoiseSweep sweeps the measurement-noise setting over the
+// paper's tuning range on the dynamic scenario, showing why 0.003–0.01
+// works statically but ≥0.015 is needed on the road.
+func AblationNoiseSweep(w io.Writer, dur float64) ([]NoiseRow, error) {
+	mis := geom.EulerDeg(2, -1, 1)
+	fmt.Fprintln(w, "Ablation: measurement noise σ on the dynamic test")
+	fmt.Fprintf(w, "%12s %16s %14s\n", "σ (m/s²)", "Σ|err| (deg)", "3σ exceed")
+	var rows []NoiseRow
+	for _, sigma := range []float64{0.003, 0.005, 0.01, 0.015, 0.02, 0.03, 0.05} {
+		cfg := system.DynamicScenario(mis, dur, 42)
+		cfg.Filter.MeasNoise = sigma
+		cfg.ResidualStride = 1000
+		res, err := system.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := NoiseRow{
+			MeasNoise:      sigma,
+			SumErrDeg:      res.ErrorDeg[0] + res.ErrorDeg[1] + res.ErrorDeg[2],
+			ExceedanceRate: res.ExceedanceRate,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%12.3f %16.4f %13.2f%%\n", row.MeasNoise, row.SumErrDeg, 100*row.ExceedanceRate)
+	}
+	return rows, nil
+}
+
+// SoftFloatRow is one emulated-FPU cost entry.
+type SoftFloatRow struct {
+	Routine     string
+	CyclesPerOp float64
+}
+
+// AblationSabreSoftfloat measures the cost of IEEE emulation on the
+// FPU-less soft core (Section 10's SoftFloat workload), including a
+// whole Kalman update.
+func AblationSabreSoftfloat(w io.Writer) ([]SoftFloatRow, error) {
+	fmt.Fprintln(w, "Ablation: SoftFloat on the Sabre soft core (no FPU)")
+	fmt.Fprintf(w, "%16s %14s\n", "routine", "cycles/op")
+	pairs := make([][2]uint32, 256)
+	for i := range pairs {
+		pairs[i] = [2]uint32{0x3FC00000 + uint32(i)<<8, 0x40200000 - uint32(i)<<7}
+	}
+	var rows []SoftFloatRow
+	for _, routine := range []string{"f32_add", "f32_sub", "f32_mul", "f32_div", "f32_sqrt", "f32_from_i32", "f32_to_i32"} {
+		_, perOp, err := sabre.RunBatch(routine, pairs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SoftFloatRow{Routine: routine, CyclesPerOp: perOp})
+		fmt.Fprintf(w, "%16s %14.1f\n", routine, perOp)
+	}
+	// Whole Kalman update on the core.
+	z := make([]float32, 100)
+	for i := range z {
+		z[i] = 1.5 + float32(i%7)*0.01
+	}
+	res, err := sabre.RunKalman(1e-6, 0.25, 100, 0, z)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SoftFloatRow{Routine: "kalman update (float)", CyclesPerOp: res.CyclesPerUpdate})
+	fmt.Fprintf(w, "%24s %14.1f\n", "kalman update (float)", res.CyclesPerUpdate)
+	// The paper's Section 12 enhancement: the same filter in Q16.16
+	// integer arithmetic.
+	z64 := make([]float64, len(z))
+	for i, v := range z {
+		z64[i] = float64(v)
+	}
+	fx, err := sabre.RunFxKalman(1e-4, 0.25, 100, 0, z64)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SoftFloatRow{Routine: "kalman update (Q16.16)", CyclesPerOp: fx.CyclesPerUpdate})
+	fmt.Fprintf(w, "%24s %14.1f\n", "kalman update (Q16.16)", fx.CyclesPerUpdate)
+	// And the complete 3-state boresight fusion filter, integer-only.
+	inputs := make([]sabre.FxBoresightInput, 50)
+	for i := range inputs {
+		inputs[i] = sabre.FxBoresightInput{
+			F: geom.Vec3{0.1, -0.2, -9.8}, AX: 0.15, AY: -0.25,
+		}
+	}
+	fxb, err := sabre.RunFxBoresight(fxcore.DefaultConfig(), 0.01, inputs)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, SoftFloatRow{Routine: "boresight update (S8.24)", CyclesPerOp: fxb.CyclesPerUpdate})
+	fmt.Fprintf(w, "%24s %14.1f\n", "boresight update (S8.24)", fxb.CyclesPerUpdate)
+	fmt.Fprintf(w, "at a 25 MHz core clock: %.0f float updates/s, %.0f fixed-point updates/s\n",
+		25e6/res.CyclesPerUpdate, 25e6/fx.CyclesPerUpdate)
+	fmt.Fprintf(w, "fixed-point conversion (the paper's Section 12 enhancement): %.1fx speedup\n",
+		res.CyclesPerUpdate/fx.CyclesPerUpdate)
+	return rows, nil
+}
+
+// StateModelRow is one filter-structure ablation entry.
+type StateModelRow struct {
+	Model     string
+	SumErrDeg float64
+}
+
+// AblationStateModel compares filter structures on a scenario with real
+// instrument biases and scale errors: the value of estimating them.
+func AblationStateModel(w io.Writer, dur float64) ([]StateModelRow, error) {
+	mis := geom.EulerDeg(1.5, -2, 1)
+	fmt.Fprintln(w, "Ablation: filter state vector (biased/scaled instruments, no pre-calibration)")
+	fmt.Fprintf(w, "%24s %16s\n", "states", "Σ|err| (deg)")
+	var rows []StateModelRow
+	for _, m := range []struct {
+		name        string
+		bias, scale bool
+	}{
+		{"angles only", false, false},
+		{"angles+bias", true, false},
+		{"angles+bias+scale", true, true},
+	} {
+		cfg := system.StaticScenario(mis, dur, 7)
+		cfg.Calibrate = false // make the bias states do the work
+		cfg.ACC.Axes[0].Bias = 0.06
+		cfg.ACC.Axes[1].Bias = -0.05
+		cfg.Filter.EstimateBias = m.bias
+		cfg.Filter.EstimateScale = m.scale
+		cfg.ResidualStride = 1000
+		res, err := system.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := StateModelRow{Model: m.name, SumErrDeg: res.ErrorDeg[0] + res.ErrorDeg[1] + res.ErrorDeg[2]}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%24s %16.4f\n", row.Model, row.SumErrDeg)
+	}
+	fmt.Fprintln(w, "note: bias states alone can do WORSE than none when scale errors are")
+	fmt.Fprintln(w, "unmodelled — the bias state chases the pose-dependent scale systematic;")
+	fmt.Fprintln(w, "the full state vector resolves it.")
+	return rows, nil
+}
+
+// RunLengthRow is one observation-window ablation entry.
+type RunLengthRow struct {
+	Duration  float64
+	SumErrDeg float64
+	Sig3Sum   float64
+}
+
+// AblationRunLength sweeps the observation window — Section 12's "time
+// allowed for the filter to compute the misalignment angles".
+func AblationRunLength(w io.Writer) ([]RunLengthRow, error) {
+	mis := geom.EulerDeg(2, -1.5, 1)
+	fmt.Fprintln(w, "Ablation: observation window (dynamic test)")
+	fmt.Fprintf(w, "%10s %16s %16s\n", "dur (s)", "Σ|err| (deg)", "Σ3σ (deg)")
+	var rows []RunLengthRow
+	for _, dur := range []float64{15, 30, 60, 120, 300} {
+		cfg := system.DynamicScenario(mis, dur, 9)
+		cfg.Duration = dur // exact window (drives round up to patterns)
+		cfg.ResidualStride = 1000
+		res, err := system.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := RunLengthRow{
+			Duration:  dur,
+			SumErrDeg: res.ErrorDeg[0] + res.ErrorDeg[1] + res.ErrorDeg[2],
+			Sig3Sum:   res.ThreeSigmaDeg[0] + res.ThreeSigmaDeg[1] + res.ThreeSigmaDeg[2],
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%10.0f %16.4f %16.4f\n", row.Duration, row.SumErrDeg, row.Sig3Sum)
+	}
+	return rows, nil
+}
+
+// PipelineReport summarises the FPGA video datapath's real-time
+// capability.
+type PipelineReport struct {
+	W, H           int
+	CyclesPerFrame uint64
+	FPSAt25MHz     float64
+	FwdMapHoles    int
+}
+
+// VideoPipelineReport runs one frame through the clocked five-stage
+// pipeline and reports throughput — the real-time claim of Section 8
+// ("intensive processing requirements beyond typical embedded micro and
+// DSP devices") — plus the forward-vs-inverse mapping comparison.
+func VideoPipelineReport(w io.Writer, width, height int) (*PipelineReport, error) {
+	src := video.RoadScene{W: width, H: height}.Render()
+	sim := hcsim.NewSim()
+	ram := rc200.NewSRAM(sim)
+	ram.LoadFrame(src)
+	disp := rc200.NewDisplay(width, height)
+	lut := fixed.NewTrig(1024, fixed.TrigFrac)
+	pipe := affine.NewPipeline(sim, lut, ram, disp, width, height)
+	prm := affine.Params{Theta: geom.Deg2Rad(3)}
+	idx, tx, ty := affine.ControlFromParams(lut, prm)
+	pipe.SetControl(idx, tx, ty)
+	sim.Tick()
+	start := sim.Cycle()
+	pipe.Start()
+	sim.Tick()
+	for pipe.Busy() {
+		sim.Tick()
+		if sim.Cycle()-start > uint64(width*height*4) {
+			return nil, fmt.Errorf("experiments: pipeline stalled")
+		}
+	}
+	cycles := sim.Cycle() - start
+
+	ft := affine.NewFixedTransformer(lut)
+	_, holes := ft.ForwardMap(src, prm)
+
+	rep := &PipelineReport{
+		W: width, H: height,
+		CyclesPerFrame: cycles,
+		FPSAt25MHz:     25e6 / float64(cycles),
+		FwdMapHoles:    holes,
+	}
+	fmt.Fprintf(w, "Video pipeline: %dx%d frame in %d cycles (1 pixel/cycle + fill)\n",
+		width, height, cycles)
+	fmt.Fprintf(w, "at the RC200's 25 MHz pixel-clock class rate: %.1f frames/s\n", rep.FPSAt25MHz)
+	fmt.Fprintf(w, "forward mapping (paper's Figure 5 form) would leave %d holes (%.1f%%); the\n",
+		holes, 100*float64(holes)/float64(width*height))
+	fmt.Fprintln(w, "output-driven inverse mapping leaves none.")
+	return rep, nil
+}

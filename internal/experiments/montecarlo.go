@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"boresight/internal/geom"
+	"boresight/internal/system"
+)
+
+// MonteCarloResult summarises a repeated-trial study of the paper's
+// statistical claim.
+type MonteCarloResult struct {
+	Trials int
+	// Coverage is the fraction of per-axis errors inside the filter's
+	// own 3σ claim — the paper's "3-sigma or 99% confidence".
+	Coverage float64
+	// MeanErrDeg / P95ErrDeg aggregate the per-axis absolute errors.
+	MeanErrDeg float64
+	P95ErrDeg  float64
+	// MeanSigma3Deg is the average claimed 3σ.
+	MeanSigma3Deg float64
+	// WorstErrDeg is the single worst axis error across all trials.
+	WorstErrDeg float64
+}
+
+// MonteCarlo repeats the static and dynamic tests across `trials`
+// independent noise seeds and misalignment draws, measuring how often
+// the true error actually falls inside the filter's reported 3σ — the
+// empirical test of the paper's "results … exceeded the requirements …
+// with a 3-sigma or 99% confidence". The per-run duration is dur
+// seconds.
+func MonteCarlo(w io.Writer, trials int, dur float64) (staticRes, dynamicRes *MonteCarloResult, err error) {
+	if trials < 2 {
+		return nil, nil, fmt.Errorf("experiments: need at least 2 trials")
+	}
+	fmt.Fprintf(w, "Monte Carlo: %d trials each of the static and dynamic tests (%.0f s runs)\n", trials, dur)
+
+	run := func(dynamic bool) (*MonteCarloResult, error) {
+		res := &MonteCarloResult{Trials: trials}
+		var errs []float64
+		inside, total := 0, 0
+		var sigmaSum float64
+		for trial := 0; trial < trials; trial++ {
+			seed := int64(1000 + trial)
+			// Misalignment drawn deterministically per trial, ±3°.
+			mis := geom.EulerDeg(
+				wrapDeg(float64(trial)*1.7+0.5),
+				wrapDeg(float64(trial)*2.3-1.0),
+				wrapDeg(float64(trial)*2.9+1.5),
+			)
+			var cfg system.Config
+			if dynamic {
+				cfg = system.DynamicScenario(mis, dur, seed)
+			} else {
+				cfg = system.StaticScenario(mis, dur, seed)
+			}
+			cfg.ResidualStride = 10000
+			r, err := system.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for ax := 0; ax < 3; ax++ {
+				errs = append(errs, r.ErrorDeg[ax])
+				sigmaSum += r.ThreeSigmaDeg[ax]
+				total++
+				if r.ErrorDeg[ax] <= r.ThreeSigmaDeg[ax] {
+					inside++
+				}
+				if r.ErrorDeg[ax] > res.WorstErrDeg {
+					res.WorstErrDeg = r.ErrorDeg[ax]
+				}
+			}
+		}
+		sort.Float64s(errs)
+		var sum float64
+		for _, e := range errs {
+			sum += e
+		}
+		res.Coverage = float64(inside) / float64(total)
+		res.MeanErrDeg = sum / float64(len(errs))
+		res.P95ErrDeg = errs[len(errs)*95/100]
+		res.MeanSigma3Deg = sigmaSum / float64(total)
+		return res, nil
+	}
+
+	staticRes, err = run(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	dynamicRes, err = run(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	print := func(name string, r *MonteCarloResult) {
+		fmt.Fprintf(w, "%-8s coverage %5.1f%% inside own 3σ | mean err %.4f° | p95 %.4f° | worst %.4f° | mean 3σ %.4f°\n",
+			name, 100*r.Coverage, r.MeanErrDeg, r.P95ErrDeg, r.WorstErrDeg, r.MeanSigma3Deg)
+	}
+	print("static", staticRes)
+	print("dynamic", dynamicRes)
+	fmt.Fprintln(w, "the paper claims results inside a 3σ (99%) confidence; coverage near or")
+	fmt.Fprintln(w, "above ~95% reproduces that claim given residual instrument systematics.")
+	return staticRes, dynamicRes, nil
+}
+
+// wrapDeg folds a value into ±3° keeping it away from zero.
+func wrapDeg(v float64) float64 {
+	f := math.Mod(v, 6) - 3
+	if math.Abs(f) < 0.3 {
+		f += 0.7
+	}
+	return f
+}

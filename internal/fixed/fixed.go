@@ -1,0 +1,113 @@
+// Package fixed implements the 16-bit fixed-point arithmetic used by the
+// FPGA video datapath in the paper (Section 9): integer/fixed conversion,
+// multiplication with configurable fractional precision, saturation, and
+// the 1024-element sine/cosine lookup table that feeds the affine
+// rotation pipeline.
+//
+// Values are carried in int32 containers but represent 16-bit two's
+// complement fixed-point numbers. The number of fractional bits is
+// explicit at every operation, mirroring how a Handel-C design wires bit
+// widths rather than hiding them behind a type system. The affine
+// pipeline uses two formats:
+//
+//   - coordinates: Q9.6 (signed, 9 integer bits, 6 fractional) — enough
+//     for ±511 pixel offsets from the rotation centre;
+//   - trig values: Q1.14 (signed, 1 integer bit, 14 fractional) — sine
+//     and cosine live in [-1, 1].
+//
+// A Q9.6 × Q1.14 product right-shifted by 14 stays in Q9.6, which is the
+// arrangement FixedMult in the paper's Figure 5 corresponds to.
+package fixed
+
+import "math"
+
+// Standard fractional-bit choices for the video pipeline.
+const (
+	// CoordFrac is the fractional precision of pixel coordinates (Q9.6).
+	CoordFrac = 6
+	// TrigFrac is the fractional precision of LUT sine/cosine (Q1.14).
+	TrigFrac = 14
+	// Width is the word width of the datapath in bits.
+	Width = 16
+)
+
+// Limits of a signed 16-bit word.
+const (
+	MaxInt16 = 1<<(Width-1) - 1
+	MinInt16 = -(1 << (Width - 1))
+)
+
+// FromInt converts an integer to fixed point with frac fractional bits.
+// The result is not saturated; callers converting pixel coordinates keep
+// within range by construction.
+func FromInt(x int, frac uint) int32 { return int32(x) << frac }
+
+// ToInt converts fixed point back to an integer, rounding to nearest
+// (ties away from zero), matching the fixed2Int step of the pipeline.
+func ToInt(v int32, frac uint) int {
+	if frac == 0 {
+		return int(v)
+	}
+	half := int32(1) << (frac - 1)
+	if v >= 0 {
+		return int((v + half) >> frac)
+	}
+	return -int((-v + half) >> frac)
+}
+
+// Trunc converts fixed point to an integer by truncation toward negative
+// infinity (a bare arithmetic shift, the cheapest hardware option).
+func Trunc(v int32, frac uint) int { return int(v >> frac) }
+
+// FromFloat converts a float to fixed point with frac fractional bits,
+// rounding to nearest.
+func FromFloat(f float64, frac uint) int32 {
+	return int32(math.Round(f * float64(int64(1)<<frac)))
+}
+
+// ToFloat converts fixed point to a float.
+func ToFloat(v int32, frac uint) float64 {
+	return float64(v) / float64(int64(1)<<frac)
+}
+
+// Mul multiplies two fixed-point values whose product should be
+// renormalised by shifting right frac bits (i.e. b carries frac
+// fractional bits that are to be removed). Rounds to nearest.
+func Mul(a, b int32, frac uint) int32 {
+	p := int64(a) * int64(b)
+	if frac == 0 {
+		return int32(p)
+	}
+	half := int64(1) << (frac - 1)
+	if p >= 0 {
+		return int32((p + half) >> frac)
+	}
+	return -int32((-p + half) >> frac)
+}
+
+// Sat16 clamps v to the signed 16-bit range, the saturation a 16-bit
+// datapath register applies.
+func Sat16(v int32) int32 {
+	if v > MaxInt16 {
+		return MaxInt16
+	}
+	if v < MinInt16 {
+		return MinInt16
+	}
+	return v
+}
+
+// AddSat adds two values with 16-bit saturation.
+func AddSat(a, b int32) int32 { return Sat16(a + b) }
+
+// SubSat subtracts b from a with 16-bit saturation.
+func SubSat(a, b int32) int32 { return Sat16(a - b) }
+
+// Abs returns |v| (saturating at MaxInt16 only if v were MinInt32, which
+// 16-bit inputs cannot produce).
+func Abs(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,248 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromIntToIntRoundTrip(t *testing.T) {
+	for _, x := range []int{0, 1, -1, 100, -100, 300, -511} {
+		v := FromInt(x, CoordFrac)
+		if got := ToInt(v, CoordFrac); got != x {
+			t.Fatalf("round trip %d -> %d", x, got)
+		}
+	}
+}
+
+func TestToIntRounding(t *testing.T) {
+	// 1.5 in Q*.6 rounds away from zero to 2; -1.5 to -2.
+	if got := ToInt(FromFloat(1.5, 6), 6); got != 2 {
+		t.Fatalf("ToInt(1.5) = %d", got)
+	}
+	if got := ToInt(FromFloat(-1.5, 6), 6); got != -2 {
+		t.Fatalf("ToInt(-1.5) = %d", got)
+	}
+	if got := ToInt(FromFloat(1.4, 6), 6); got != 1 {
+		t.Fatalf("ToInt(1.4) = %d", got)
+	}
+	if got := ToInt(FromFloat(-1.4, 6), 6); got != -1 {
+		t.Fatalf("ToInt(-1.4) = %d", got)
+	}
+	if got := ToInt(42, 0); got != 42 {
+		t.Fatalf("ToInt frac=0 = %d", got)
+	}
+}
+
+func TestTruncFloorBehaviour(t *testing.T) {
+	if got := Trunc(FromFloat(1.9, 6), 6); got != 1 {
+		t.Fatalf("Trunc(1.9) = %d", got)
+	}
+	if got := Trunc(FromFloat(-0.1, 6), 6); got != -1 {
+		t.Fatalf("Trunc(-0.1) = %d", got)
+	}
+}
+
+func TestFromFloatAccuracy(t *testing.T) {
+	for _, f := range []float64{0, 0.5, -0.5, 0.999, -0.999, 0.123, -0.321} {
+		v := FromFloat(f, TrigFrac)
+		back := ToFloat(v, TrigFrac)
+		if math.Abs(back-f) > 1.0/(1<<TrigFrac) {
+			t.Fatalf("FromFloat(%v) -> %v", f, back)
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// 2.0 (Q9.6) * 0.5 (Q1.14) >> 14 = 1.0 (Q9.6)
+	a := FromFloat(2.0, CoordFrac)
+	b := FromFloat(0.5, TrigFrac)
+	got := Mul(a, b, TrigFrac)
+	if want := FromFloat(1.0, CoordFrac); got != want {
+		t.Fatalf("Mul = %d, want %d", got, want)
+	}
+	// Negative operand.
+	got = Mul(a, -b, TrigFrac)
+	if want := FromFloat(-1.0, CoordFrac); got != want {
+		t.Fatalf("Mul neg = %d, want %d", got, want)
+	}
+	if got := Mul(5, 7, 0); got != 35 {
+		t.Fatalf("Mul frac=0 = %d", got)
+	}
+}
+
+func TestMulMatchesFloatProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		af := (rng.Float64() - 0.5) * 500 // coordinate range
+		bf := (rng.Float64() - 0.5) * 2   // trig range
+		a := FromFloat(af, CoordFrac)
+		b := FromFloat(bf, TrigFrac)
+		got := ToFloat(Mul(a, b, TrigFrac), CoordFrac)
+		want := af * bf
+		// One LSB of quantisation per operand plus rounding.
+		tol := math.Abs(af)/(1<<TrigFrac) + math.Abs(bf)/(1<<CoordFrac) + 2.0/(1<<CoordFrac)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("Mul(%v, %v) = %v, want %v (tol %v)", af, bf, got, want, tol)
+		}
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	if got := Sat16(40000); got != MaxInt16 {
+		t.Fatalf("Sat16(40000) = %d", got)
+	}
+	if got := Sat16(-40000); got != MinInt16 {
+		t.Fatalf("Sat16(-40000) = %d", got)
+	}
+	if got := Sat16(123); got != 123 {
+		t.Fatalf("Sat16(123) = %d", got)
+	}
+	if got := AddSat(MaxInt16, 10); got != MaxInt16 {
+		t.Fatalf("AddSat overflow = %d", got)
+	}
+	if got := SubSat(MinInt16, 10); got != MinInt16 {
+		t.Fatalf("SubSat underflow = %d", got)
+	}
+	if got := AddSat(5, 7); got != 12 {
+		t.Fatalf("AddSat = %d", got)
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if Abs(-5) != 5 || Abs(5) != 5 || Abs(0) != 0 {
+		t.Fatal("Abs broken")
+	}
+}
+
+// Property via testing/quick: ToInt(FromInt(x)) == x for 16-bit-safe x.
+func TestIntRoundTripQuick(t *testing.T) {
+	f := func(x int16) bool {
+		v := int(x) / 4 // keep within Q9.6 integer range
+		return ToInt(FromInt(v, CoordFrac), CoordFrac) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTrigValidation(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewTrig(%d) did not panic", n)
+				}
+			}()
+			NewTrig(n, TrigFrac)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewTrig frac=0 did not panic")
+			}
+		}()
+		NewTrig(1024, 0)
+	}()
+}
+
+func TestTrigCardinalAngles(t *testing.T) {
+	lut := NewTrig(1024, TrigFrac)
+	cases := []struct {
+		rad      float64
+		sin, cos float64
+	}{
+		{0, 0, 1},
+		{math.Pi / 2, 1, 0},
+		{math.Pi, 0, -1},
+		{3 * math.Pi / 2, -1, 0},
+	}
+	for _, c := range cases {
+		s, co := lut.SinCos(c.rad)
+		if math.Abs(ToFloat(s, TrigFrac)-c.sin) > 1e-3 {
+			t.Fatalf("sin(%v) = %v, want %v", c.rad, ToFloat(s, TrigFrac), c.sin)
+		}
+		if math.Abs(ToFloat(co, TrigFrac)-c.cos) > 1e-3 {
+			t.Fatalf("cos(%v) = %v, want %v", c.rad, ToFloat(co, TrigFrac), c.cos)
+		}
+	}
+}
+
+func TestTrigIndexWrapping(t *testing.T) {
+	lut := NewTrig(1024, TrigFrac)
+	if lut.Index(2*math.Pi) != 0 {
+		t.Fatalf("Index(2π) = %d", lut.Index(2*math.Pi))
+	}
+	if lut.Index(-math.Pi/2) != 768 {
+		t.Fatalf("Index(-π/2) = %d", lut.Index(-math.Pi/2))
+	}
+	if lut.SinIdx(1024) != lut.SinIdx(0) {
+		t.Fatal("SinIdx does not wrap")
+	}
+	if lut.CosIdx(-1) != lut.CosIdx(1023) {
+		t.Fatal("CosIdx does not wrap negatives")
+	}
+}
+
+func TestTrigAccuracy1024(t *testing.T) {
+	lut := NewTrig(1024, TrigFrac)
+	// Worst-case error of a 1024-entry nearest-index LUT is about
+	// π/1024 ≈ 0.0031 (slope 1 at zero crossings) plus quantisation.
+	if e := lut.MaxError(); e > 0.004 {
+		t.Fatalf("1024-entry LUT max error %v too large", e)
+	}
+	if e := lut.MaxError(); e < 1e-5 {
+		t.Fatalf("1024-entry LUT max error %v suspiciously small", e)
+	}
+}
+
+func TestTrigErrorDecreasesWithSize(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{64, 256, 1024} {
+		e := NewTrig(n, TrigFrac).MaxError()
+		if e >= prev {
+			t.Fatalf("LUT error did not decrease: n=%d e=%v prev=%v", n, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestTrigPythagoreanIdentity(t *testing.T) {
+	lut := NewTrig(1024, TrigFrac)
+	for i := 0; i < lut.Size(); i += 7 {
+		s := ToFloat(lut.SinIdx(i), TrigFrac)
+		c := ToFloat(lut.CosIdx(i), TrigFrac)
+		if math.Abs(s*s+c*c-1) > 1e-3 {
+			t.Fatalf("sin²+cos² = %v at index %d", s*s+c*c, i)
+		}
+	}
+}
+
+func TestTrigResolution(t *testing.T) {
+	lut := NewTrig(1024, TrigFrac)
+	if got, want := lut.AngleResolution(), 2*math.Pi/1024; got != want {
+		t.Fatalf("AngleResolution = %v", got)
+	}
+	if lut.Frac() != TrigFrac || lut.Size() != 1024 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func BenchmarkSinCosLUT(b *testing.B) {
+	lut := NewTrig(1024, TrigFrac)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = lut.SinCos(float64(i) * 0.001)
+	}
+}
+
+func BenchmarkFixedMul(b *testing.B) {
+	x := FromFloat(123.4, CoordFrac)
+	y := FromFloat(0.707, TrigFrac)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Mul(x, y, TrigFrac)
+	}
+}

@@ -1,0 +1,87 @@
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Trig is a sine/cosine lookup table with a power-of-two number of
+// entries covering one full turn, storing values in Q1.(frac) fixed
+// point. The paper's pipeline uses 1024 entries at 16-bit precision;
+// NewTrig(1024, TrigFrac) reproduces that, while other sizes support the
+// LUT-size ablation study.
+type Trig struct {
+	n    int
+	frac uint
+	mask int
+	sin  []int32
+	cos  []int32
+}
+
+// NewTrig builds a LUT with n entries (n must be a power of two >= 4)
+// and the given fractional precision (1..30).
+func NewTrig(n int, frac uint) *Trig {
+	if n < 4 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fixed: LUT size %d is not a power of two >= 4", n))
+	}
+	if frac < 1 || frac > 30 {
+		panic(fmt.Sprintf("fixed: trig frac %d out of range", frac))
+	}
+	t := &Trig{n: n, frac: frac, mask: n - 1,
+		sin: make([]int32, n), cos: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		t.sin[i] = FromFloat(math.Sin(a), frac)
+		t.cos[i] = FromFloat(math.Cos(a), frac)
+	}
+	return t
+}
+
+// Size returns the number of LUT entries.
+func (t *Trig) Size() int { return t.n }
+
+// Frac returns the fractional precision of the stored values.
+func (t *Trig) Frac() uint { return t.frac }
+
+// SinIdx returns sine for LUT index i (wrapped modulo the table size).
+func (t *Trig) SinIdx(i int) int32 { return t.sin[i&t.mask] }
+
+// CosIdx returns cosine for LUT index i (wrapped modulo the table size).
+func (t *Trig) CosIdx(i int) int32 { return t.cos[i&t.mask] }
+
+// Index quantises an angle in radians to the nearest LUT index.
+func (t *Trig) Index(rad float64) int {
+	i := int(math.Round(rad / (2 * math.Pi) * float64(t.n)))
+	return ((i % t.n) + t.n) & t.mask
+}
+
+// SinCos returns the fixed-point sine and cosine of an angle in radians,
+// quantised through the LUT — the GenerateSine/GenerateCos stage of the
+// paper's Figure 5.
+func (t *Trig) SinCos(rad float64) (sin, cos int32) {
+	i := t.Index(rad)
+	return t.sin[i], t.cos[i]
+}
+
+// AngleResolution returns the LUT's angular step in radians.
+func (t *Trig) AngleResolution() float64 { return 2 * math.Pi / float64(t.n) }
+
+// MaxError returns the worst-case absolute error of the table against
+// math.Sin/math.Cos sampled densely between entries; used by the
+// LUT-size ablation.
+func (t *Trig) MaxError() float64 {
+	const oversample = 8
+	var worst float64
+	total := t.n * oversample
+	for i := 0; i < total; i++ {
+		a := 2 * math.Pi * float64(i) / float64(total)
+		s, c := t.SinCos(a)
+		if e := math.Abs(ToFloat(s, t.frac) - math.Sin(a)); e > worst {
+			worst = e
+		}
+		if e := math.Abs(ToFloat(c, t.frac) - math.Cos(a)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

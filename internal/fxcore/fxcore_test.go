@@ -1,0 +1,233 @@
+package fxcore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"boresight/internal/core"
+	"boresight/internal/geom"
+	"boresight/internal/traj"
+)
+
+func TestFixedPointPrimitives(t *testing.T) {
+	if got := ToFloat(FromFloat(1.5)); got != 1.5 {
+		t.Fatalf("round trip 1.5 -> %v", got)
+	}
+	if got := Mul(FromFloat(2), FromFloat(3.25)); got != FromFloat(6.5) {
+		t.Fatalf("2*3.25 = %v", ToFloat(got))
+	}
+	if got := Mul(FromFloat(-2), FromFloat(3.25)); got != FromFloat(-6.5) {
+		t.Fatalf("-2*3.25 = %v", ToFloat(got))
+	}
+	if got := Div(FromFloat(1), FromFloat(3)); math.Abs(ToFloat(got)-1.0/3) > 1e-6 {
+		t.Fatalf("1/3 = %v", ToFloat(got))
+	}
+	if got := Div(FromFloat(-1), FromFloat(3)); math.Abs(ToFloat(got)+1.0/3) > 1e-6 {
+		t.Fatalf("-1/3 = %v", ToFloat(got))
+	}
+	// Division by zero saturates instead of trapping.
+	if Div(One, 0) <= 0 || Div(-One, 0) >= 0 {
+		t.Fatal("div-by-zero saturation wrong")
+	}
+}
+
+// Property via testing/quick: fixed multiply matches float multiply to
+// the quantisation floor for in-range values.
+func TestMulQuick(t *testing.T) {
+	f := func(a, b int16) bool {
+		af := float64(a) / 300 // ±110 range
+		bf := float64(b) / 300
+		got := ToFloat(Mul(FromFloat(af), FromFloat(bf)))
+		return math.Abs(got-af*bf) < 2e-5*(math.Abs(af)+math.Abs(bf)+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tiltForce(att geom.Euler) geom.Vec3 {
+	return (traj.StaticPose{Attitude: att, Dur: 1}).At(0).SpecificForce()
+}
+
+func accReading(mis geom.Euler, f geom.Vec3) (float64, float64) {
+	fs := mis.DCM().T().Apply(f)
+	return fs[0], fs[1]
+}
+
+func TestFixedFilterRecoversMisalignment(t *testing.T) {
+	mis := geom.EulerDeg(1.5, -2.0, 1.0)
+	e := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	poses := []geom.Euler{
+		geom.EulerDeg(0, 0, 0),
+		geom.EulerDeg(0, 20, 0),
+		geom.EulerDeg(0, -20, 0),
+		geom.EulerDeg(20, 0, 0),
+	}
+	for i := 0; i < 20000; i++ {
+		f := tiltForce(poses[(i/2500)%len(poses)])
+		zx, zy := accReading(mis, f)
+		zx += rng.NormFloat64() * 0.008
+		zy += rng.NormFloat64() * 0.008
+		if _, _, err := e.Step(0.01, f, zx, zy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := e.Misalignment()
+	// The S8.24 quantisation floor is ~0.015° of 1σ; demand 0.1°.
+	if math.Abs(geom.Rad2Deg(got.Roll-mis.Roll)) > 0.1 ||
+		math.Abs(geom.Rad2Deg(got.Pitch-mis.Pitch)) > 0.1 ||
+		math.Abs(geom.Rad2Deg(got.Yaw-mis.Yaw)) > 0.1 {
+		r, p, y := got.Deg()
+		t.Fatalf("estimate (%v, %v, %v)°, want (1.5, -2, 1)°", r, p, y)
+	}
+	if e.Steps() != 20000 {
+		t.Fatalf("steps = %d", e.Steps())
+	}
+}
+
+func TestFixedTracksFloatFilter(t *testing.T) {
+	// Same data through the fixed filter and the float angles-only
+	// filter: estimates must agree to the fixed-point floor.
+	mis := geom.EulerDeg(2.0, -1.0, 0.5)
+	fxCfg := DefaultConfig()
+	flCfg := core.DefaultConfig()
+	flCfg.EstimateBias = false
+	flCfg.EstimateScale = false
+	flCfg.MeasNoise = fxCfg.MeasNoise
+	flCfg.InitAngleSigma = fxCfg.InitAngleSigma
+	flCfg.AngleWalk = fxCfg.AngleWalk
+	fx := New(fxCfg)
+	fl := core.New(flCfg)
+	rng := rand.New(rand.NewSource(2))
+	poses := []geom.Euler{
+		geom.EulerDeg(0, 0, 0),
+		geom.EulerDeg(0, 15, 0),
+		geom.EulerDeg(15, 0, 0),
+	}
+	for i := 0; i < 10000; i++ {
+		f := tiltForce(poses[(i/2000)%len(poses)])
+		zx, zy := accReading(mis, f)
+		zx += rng.NormFloat64() * 0.01
+		zy += rng.NormFloat64() * 0.01
+		if _, _, err := fx.Step(0.01, f, zx, zy); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fl.Step(0.01, f, zx, zy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := fx.Misalignment(), fl.Misalignment()
+	for i, d := range []float64{a.Roll - b.Roll, a.Pitch - b.Pitch, a.Yaw - b.Yaw} {
+		if math.Abs(geom.Rad2Deg(d)) > 0.05 {
+			t.Errorf("axis %d: fixed vs float differ by %.4f°", i, geom.Rad2Deg(d))
+		}
+	}
+}
+
+func TestFixedCovarianceFloor(t *testing.T) {
+	// The covariance must clamp at the quantisation floor instead of
+	// collapsing to zero or going negative.
+	mis := geom.EulerDeg(1, 1, 0)
+	e := New(DefaultConfig())
+	f := tiltForce(geom.EulerDeg(0, 10, 0))
+	for i := 0; i < 50000; i++ {
+		zx, zy := accReading(mis, f)
+		if _, _, err := e.Step(0.01, f, zx, zy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.AngleSigmas()
+	for i, v := range s {
+		if v <= 0 {
+			t.Fatalf("axis %d sigma %v not positive", i, v)
+		}
+		if v > geom.Deg2Rad(5) {
+			t.Fatalf("axis %d sigma %v never converged", i, geom.Rad2Deg(v))
+		}
+	}
+}
+
+func TestFixedStepValidation(t *testing.T) {
+	e := New(DefaultConfig())
+	if _, _, err := e.Step(0, geom.Vec3{}, 0, 0); err == nil {
+		t.Fatal("dt=0 accepted")
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.MeasNoise = 0 },
+		func(c *Config) { c.InitAngleSigma = 0 },
+	} {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad config accepted")
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestFixedDeterminism(t *testing.T) {
+	run := func() [3]int64 {
+		e := New(DefaultConfig())
+		f := tiltForce(geom.EulerDeg(0, 10, 0))
+		mis := geom.EulerDeg(1, 2, 0.5)
+		for i := 0; i < 1000; i++ {
+			zx, zy := accReading(mis, f)
+			if _, _, err := e.Step(0.01, f, zx, zy); err != nil {
+				panic(err)
+			}
+		}
+		return e.RawState()
+	}
+	if run() != run() {
+		t.Fatal("fixed-point filter not bit-deterministic")
+	}
+}
+
+func TestFixedResidualsReturned(t *testing.T) {
+	e := New(DefaultConfig())
+	f := tiltForce(geom.Euler{})
+	// A grossly wrong measurement gives a large residual.
+	rx, ry, err := e.Step(0.01, f, f[0]+1.0, f[1]-1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ToFloat(rx)-1.0) > 1e-5 || math.Abs(ToFloat(ry)+1.0) > 1e-5 {
+		t.Fatalf("residuals %v %v", ToFloat(rx), ToFloat(ry))
+	}
+}
+
+func BenchmarkFixedStep(b *testing.B) {
+	e := New(DefaultConfig())
+	f := tiltForce(geom.EulerDeg(0, 10, 0))
+	mis := geom.EulerDeg(1, 2, 0.5)
+	zx, zy := accReading(mis, f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Step(0.01, f, zx, zy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloatStepForComparison(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.EstimateBias = false
+	cfg.EstimateScale = false
+	e := core.New(cfg)
+	f := tiltForce(geom.EulerDeg(0, 10, 0))
+	mis := geom.EulerDeg(1, 2, 0.5)
+	zx, zy := accReading(mis, f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Step(0.01, f, zx, zy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package hcsim
+
+// Handel-C channels: unbuffered, synchronising. A send (`c ! v`) and a
+// receive (`c ? x`) transfer when both sides are ready, like the CSP
+// handshakes Handel-C compiles to.
+//
+// Rendezvous is resolved at the clock edge (the commit phase), which
+// makes the outcome independent of the order branches step within a
+// cycle: both endpoints offer during cycle N, the edge pairs them, and
+// both complete in cycle N+1. A synchronised transfer therefore costs
+// one full cycle after the offer — the handshake round trip — and a
+// stalled side simply keeps offering.
+
+// Chan is an unbuffered synchronising channel carrying values of type T.
+type Chan[T any] struct {
+	sendReady bool
+	recvReady bool
+	val       T
+	// Per-side completion flags, each consumed by its own endpoint in
+	// the cycle after the rendezvous (so completion is independent of
+	// the order branches step within a cycle).
+	sendDone bool
+	recvDone bool
+	xfer     T
+}
+
+// NewChan creates a channel attached to the simulator's clock edge.
+func NewChan[T any](s *Sim) *Chan[T] {
+	c := &Chan[T]{}
+	AddCommitHook(s, c.commit)
+	return c
+}
+
+func (c *Chan[T]) commit() {
+	if c.sendReady && c.recvReady && !c.sendDone && !c.recvDone {
+		c.sendDone = true
+		c.recvDone = true
+		c.xfer = c.val
+	}
+	c.sendReady = false
+	c.recvReady = false
+}
+
+// sendProc offers a value until the rendezvous completes.
+type sendProc[T any] struct {
+	ch *Chan[T]
+	fn func() T
+}
+
+// Send returns a Proc implementing `ch ! fn()`: it offers the value
+// every cycle and completes the cycle after a receiver synchronises.
+// fn is evaluated on each offer (the last evaluation is transferred).
+func Send[T any](ch *Chan[T], fn func() T) Proc {
+	return &sendProc[T]{ch: ch, fn: fn}
+}
+
+func (p *sendProc[T]) step() bool {
+	if p.ch.sendDone {
+		p.ch.sendDone = false
+		return true
+	}
+	p.ch.sendReady = true
+	p.ch.val = p.fn()
+	return false
+}
+
+// recvProc waits for a sender.
+type recvProc[T any] struct {
+	ch *Chan[T]
+	fn func(T)
+}
+
+// Recv returns a Proc implementing `ch ? x`: it waits for a sender and
+// passes the transferred value to fn in the completing cycle.
+func Recv[T any](ch *Chan[T], fn func(T)) Proc {
+	return &recvProc[T]{ch: ch, fn: fn}
+}
+
+func (p *recvProc[T]) step() bool {
+	if p.ch.recvDone {
+		p.ch.recvDone = false
+		p.fn(p.ch.xfer)
+		return true
+	}
+	p.ch.recvReady = true
+	return false
+}

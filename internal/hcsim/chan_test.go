@@ -1,0 +1,139 @@
+package hcsim
+
+import "testing"
+
+func TestChanBasicTransfer(t *testing.T) {
+	s := NewSim()
+	ch := NewChan[int](s)
+	var got int
+	p := Par(
+		Send(ch, func() int { return 42 }),
+		Recv(ch, func(v int) { got = v }),
+	)
+	cycles, done := s.RunProc(p, 10)
+	if !done || got != 42 {
+		t.Fatalf("transfer: cycles=%d done=%v got=%d", cycles, done, got)
+	}
+	// Offer cycle + completion cycle.
+	if cycles != 2 {
+		t.Fatalf("transfer took %d cycles, want 2", cycles)
+	}
+}
+
+func TestChanSenderStalls(t *testing.T) {
+	s := NewSim()
+	ch := NewChan[int](s)
+	var got int
+	var recvAt, sendAt uint64
+	p := Par(
+		Seq(
+			Send(ch, func() int { return 7 }),
+			Do(func() { sendAt = s.Cycle() }),
+		),
+		Seq(
+			Delay(5), // receiver arrives late
+			Recv(ch, func(v int) { got = v }),
+			Do(func() { recvAt = s.Cycle() }),
+		),
+	)
+	if _, done := s.RunProc(p, 50); !done {
+		t.Fatal("never completed")
+	}
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+	// Both sides complete in the same cycle (symmetry), regardless of
+	// which stalled.
+	if sendAt != recvAt {
+		t.Fatalf("asymmetric completion: send %d vs recv %d", sendAt, recvAt)
+	}
+}
+
+func TestChanReceiverStalls(t *testing.T) {
+	s := NewSim()
+	ch := NewChan[string](s)
+	var got string
+	p := Par(
+		Seq(Delay(4), Send(ch, func() string { return "hello" })),
+		Recv(ch, func(v string) { got = v }),
+	)
+	cycles, done := s.RunProc(p, 50)
+	if !done || got != "hello" {
+		t.Fatalf("cycles=%d done=%v got=%q", cycles, done, got)
+	}
+	// Delay(4) + offer + completion.
+	if cycles != 6 {
+		t.Fatalf("took %d cycles, want 6", cycles)
+	}
+}
+
+func TestChanOrderIndependence(t *testing.T) {
+	// The same program with the branch order swapped must behave
+	// identically (rendezvous resolves at the clock edge).
+	run := func(senderFirst bool) (int, int) {
+		s := NewSim()
+		ch := NewChan[int](s)
+		var got int
+		a := Send(ch, func() int { return 9 })
+		b := Recv(ch, func(v int) { got = v })
+		var p Proc
+		if senderFirst {
+			p = Par(a, b)
+		} else {
+			p = Par(b, a)
+		}
+		cycles, done := s.RunProc(p, 10)
+		if !done {
+			t.Fatal("did not complete")
+		}
+		return cycles, got
+	}
+	c1, v1 := run(true)
+	c2, v2 := run(false)
+	if c1 != c2 || v1 != v2 {
+		t.Fatalf("order dependent: (%d,%d) vs (%d,%d)", c1, v1, c2, v2)
+	}
+}
+
+func TestChanPipelineOfTransfers(t *testing.T) {
+	// Producer sends 0..4; consumer accumulates. Sequential sends and
+	// receives over the same channel.
+	s := NewSim()
+	ch := NewChan[int](s)
+	sum := 0
+	i := 0
+	producer := For(5, func(int) Proc {
+		return Send(ch, func() int { v := i; return v })
+	})
+	consumer := For(5, func(int) Proc {
+		return Recv(ch, func(v int) { sum += v; i++ })
+	})
+	if _, done := s.RunProc(Par(producer, consumer), 100); !done {
+		t.Fatal("pipeline did not complete")
+	}
+	if sum != 0+1+2+3+4 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestChanValueEvaluatedAtOffer(t *testing.T) {
+	// The sent expression is re-evaluated per offer; the transferred
+	// value is the one current at the rendezvous.
+	s := NewSim()
+	ch := NewChan[int](s)
+	counter := 0
+	var got int
+	p := Par(
+		Send(ch, func() int { counter++; return counter }),
+		Seq(Delay(3), Recv(ch, func(v int) { got = v })),
+	)
+	if _, done := s.RunProc(p, 50); !done {
+		t.Fatal("did not complete")
+	}
+	if got != counter {
+		t.Fatalf("transferred %d, last offer %d", got, counter)
+	}
+	if counter < 3 {
+		t.Fatalf("offer evaluated only %d times", counter)
+	}
+}

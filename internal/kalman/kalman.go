@@ -1,0 +1,178 @@
+// Package kalman implements the discrete Kalman filter used by the
+// boresight sensor-fusion algorithm: covariance prediction, a
+// numerically robust Joseph-form measurement update, and the innovation
+// statistics (residuals and 3-sigma envelopes) the paper uses to tune
+// measurement noise and to report confidence (Section 11).
+//
+// The filter is linear in the estimation error; nonlinear measurement
+// models (the boresight rotation) supply their own predicted measurement
+// and Jacobian per update, which makes this the "extended" form without
+// the package needing to know the model.
+package kalman
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"boresight/internal/mat"
+)
+
+// ErrIllConditioned is returned when the innovation covariance cannot be
+// factorised, indicating an inconsistent or degenerate filter setup.
+var ErrIllConditioned = errors.New("kalman: innovation covariance not positive definite")
+
+// Filter carries the state estimate and covariance of a Kalman filter
+// with a fixed state dimension.
+type Filter struct {
+	x []float64
+	p *mat.Mat
+}
+
+// New returns a filter with n states, zero estimate and zero covariance.
+// Callers seed the covariance with SetP or InflateDiag before use.
+func New(n int) *Filter {
+	return &Filter{x: make([]float64, n), p: mat.New(n, n)}
+}
+
+// Dim returns the state dimension.
+func (f *Filter) Dim() int { return len(f.x) }
+
+// State returns a copy of the state estimate.
+func (f *Filter) State() []float64 {
+	out := make([]float64, len(f.x))
+	copy(out, f.x)
+	return out
+}
+
+// SetState overwrites the state estimate.
+func (f *Filter) SetState(x []float64) {
+	if len(x) != len(f.x) {
+		panic(fmt.Sprintf("kalman: SetState got %d values for %d states", len(x), len(f.x)))
+	}
+	copy(f.x, x)
+}
+
+// P returns a copy of the covariance matrix.
+func (f *Filter) P() *mat.Mat { return f.p.Clone() }
+
+// SetP overwrites the covariance matrix.
+func (f *Filter) SetP(p *mat.Mat) {
+	if p.Rows() != len(f.x) || p.Cols() != len(f.x) {
+		panic(fmt.Sprintf("kalman: SetP got %dx%d for %d states", p.Rows(), p.Cols(), len(f.x)))
+	}
+	f.p.Copy(p)
+}
+
+// Sigma returns the 1-sigma uncertainty of state i (sqrt of the
+// covariance diagonal).
+func (f *Filter) Sigma(i int) float64 { return math.Sqrt(f.p.At(i, i)) }
+
+// Predict propagates the filter through the transition x ← F·x,
+// P ← F·P·Fᵀ + Q.
+func (f *Filter) Predict(F, Q *mat.Mat) {
+	copy(f.x, F.MulVec(f.x))
+	fp := F.Mul(f.p)
+	f.p = fp.MulT(F).AddM(Q)
+	f.p.Symmetrize()
+}
+
+// PredictAdditive is the random-walk special case F = I: the estimate is
+// unchanged and P ← P + Q. The boresight filter's states (misalignment
+// angles, instrument biases) are modelled as near-constants, so this is
+// its whole process model.
+func (f *Filter) PredictAdditive(Q *mat.Mat) {
+	f.p = f.p.AddM(Q)
+	f.p.Symmetrize()
+}
+
+// Innovation reports the statistics of one measurement update: the
+// pre-update residual, its covariance, per-component sigmas, and the
+// normalised (Mahalanobis) distance. The paper's Figure 8 plots exactly
+// Residual[i] against ±3·Sigma[i].
+type Innovation struct {
+	// Residual is z − h(x̂), the measurement-space surprise.
+	Residual []float64
+	// S is the innovation covariance H·P·Hᵀ + R.
+	S *mat.Mat
+	// Sigma is sqrt(diag(S)); ±3·Sigma is the paper's 3σ envelope.
+	Sigma []float64
+	// Mahalanobis is sqrt(νᵀ·S⁻¹·ν), the residual in sigma units
+	// accounting for correlations.
+	Mahalanobis float64
+}
+
+// Exceeds3Sigma reports whether any residual component lies outside its
+// 3σ envelope — the event the paper counts to decide the measurement
+// noise is set too low (expected ~1% of samples when tuned).
+func (in Innovation) Exceeds3Sigma() bool {
+	for i, r := range in.Residual {
+		if math.Abs(r) > 3*in.Sigma[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Update applies a measurement z with predicted value h = h(x̂),
+// Jacobian H (m×n) and noise covariance R (m×m), using the Joseph
+// stabilised form so the covariance stays symmetric positive
+// semi-definite under roundoff. It returns the pre-update innovation
+// statistics.
+func (f *Filter) Update(z, h []float64, H, R *mat.Mat) (Innovation, error) {
+	n := len(f.x)
+	m := len(z)
+	if len(h) != m || H.Rows() != m || H.Cols() != n || R.Rows() != m || R.Cols() != m {
+		panic(fmt.Sprintf("kalman: Update shape mismatch: z %d, h %d, H %dx%d, R %dx%d, n=%d",
+			m, len(h), H.Rows(), H.Cols(), R.Rows(), R.Cols(), n))
+	}
+	nu := mat.SubVec(z, h)
+
+	pht := f.p.MulT(H)      // n×m
+	s := H.Mul(pht).AddM(R) // m×m
+	s.Symmetrize()
+	chol, err := mat.CholeskyFactor(s)
+	if err != nil {
+		return Innovation{}, ErrIllConditioned
+	}
+	// K = P·Hᵀ·S⁻¹, computed as solving Sᵀ·Kᵀ = (P·Hᵀ)ᵀ column-wise.
+	k := chol.Solve(pht.T()).T() // n×m
+
+	// State update.
+	copy(f.x, mat.AddVec(f.x, k.MulVec(nu)))
+
+	// Joseph form: P ← (I−KH)·P·(I−KH)ᵀ + K·R·Kᵀ.
+	ikh := mat.Identity(n).SubM(k.Mul(H))
+	f.p = ikh.Mul(f.p).MulT(ikh).AddM(k.Mul(R).MulT(k))
+	f.p.Symmetrize()
+
+	sigma := make([]float64, m)
+	for i := range sigma {
+		sigma[i] = math.Sqrt(s.At(i, i))
+	}
+	sol := chol.SolveVec(nu)
+	maha := math.Sqrt(math.Max(0, mat.Dot(nu, sol)))
+	return Innovation{Residual: nu, S: s, Sigma: sigma, Mahalanobis: maha}, nil
+}
+
+// InnovationOnly computes the innovation statistics for a measurement
+// without updating the filter — used for residual monitoring and for
+// gating experiments.
+func (f *Filter) InnovationOnly(z, h []float64, H, R *mat.Mat) (Innovation, error) {
+	m := len(z)
+	nu := mat.SubVec(z, h)
+	pht := f.p.MulT(H)
+	s := H.Mul(pht).AddM(R)
+	s.Symmetrize()
+	chol, err := mat.CholeskyFactor(s)
+	if err != nil {
+		return Innovation{}, ErrIllConditioned
+	}
+	sigma := make([]float64, m)
+	for i := range sigma {
+		sigma[i] = math.Sqrt(s.At(i, i))
+	}
+	sol := chol.SolveVec(nu)
+	maha := math.Sqrt(math.Max(0, mat.Dot(nu, sol)))
+	return Innovation{Residual: nu, S: s, Sigma: sigma, Mahalanobis: maha}, nil
+}

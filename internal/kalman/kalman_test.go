@@ -1,0 +1,328 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boresight/internal/mat"
+)
+
+// scalarFilter builds a 1-state filter estimating a constant from noisy
+// direct measurements.
+func scalarFilter(p0 float64) *Filter {
+	f := New(1)
+	f.SetP(mat.Diag(p0))
+	return f
+}
+
+func TestScalarConstantConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := 3.7
+	noise := 0.5
+	f := scalarFilter(100)
+	H := mat.FromSlice(1, 1, []float64{1})
+	R := mat.Diag(noise * noise)
+	for i := 0; i < 2000; i++ {
+		z := truth + rng.NormFloat64()*noise
+		if _, err := f.Update([]float64{z}, []float64{f.State()[0]}, H, R); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := f.State()[0]
+	if math.Abs(est-truth) > 0.05 {
+		t.Fatalf("estimate %v, truth %v", est, truth)
+	}
+	// After 2000 measurements, sigma ≈ noise/sqrt(2000).
+	wantSigma := noise / math.Sqrt(2000)
+	if got := f.Sigma(0); math.Abs(got-wantSigma)/wantSigma > 0.1 {
+		t.Fatalf("sigma %v, want ~%v", got, wantSigma)
+	}
+}
+
+func TestScalarFirstUpdateMatchesClosedForm(t *testing.T) {
+	// One update with P0=4, R=1: K = 4/5, P1 = (1-K)·4·(1-K) + K²·1 = 0.8.
+	f := scalarFilter(4)
+	H := mat.FromSlice(1, 1, []float64{1})
+	R := mat.Diag(1)
+	inn, err := f.Update([]float64{2}, []float64{0}, H, R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.State()[0]; math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("x1 = %v, want 1.6", got)
+	}
+	if got := f.p.At(0, 0); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("P1 = %v, want 0.8", got)
+	}
+	if math.Abs(inn.Residual[0]-2) > 1e-12 {
+		t.Fatalf("residual = %v", inn.Residual[0])
+	}
+	if math.Abs(inn.Sigma[0]-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("sigma = %v, want sqrt(5)", inn.Sigma[0])
+	}
+	if math.Abs(inn.Mahalanobis-2/math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("mahalanobis = %v", inn.Mahalanobis)
+	}
+}
+
+func TestPredictConstantVelocityModel(t *testing.T) {
+	// 2-state [pos, vel] with F = [1 dt; 0 1].
+	f := New(2)
+	f.SetP(mat.Diag(1, 1))
+	f.SetState([]float64{0, 2})
+	dt := 0.5
+	F := mat.FromRows([]float64{1, dt}, []float64{0, 1})
+	Q := mat.Diag(0.01, 0.01)
+	f.Predict(F, Q)
+	x := f.State()
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("state after predict = %v", x)
+	}
+	// P = F P Fᵀ + Q: P[0][0] = 1 + dt² + 0.01.
+	if got := f.p.At(0, 0); math.Abs(got-(1+dt*dt+0.01)) > 1e-12 {
+		t.Fatalf("P00 = %v", got)
+	}
+	// Cross term dt.
+	if got := f.p.At(0, 1); math.Abs(got-dt) > 1e-12 {
+		t.Fatalf("P01 = %v", got)
+	}
+}
+
+func TestPredictAdditive(t *testing.T) {
+	f := New(2)
+	f.SetP(mat.Diag(1, 2))
+	f.SetState([]float64{5, 6})
+	f.PredictAdditive(mat.Diag(0.1, 0.2))
+	if x := f.State(); x[0] != 5 || x[1] != 6 {
+		t.Fatalf("additive predict moved state: %v", x)
+	}
+	if got := f.p.At(0, 0); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("P00 = %v", got)
+	}
+	if got := f.p.At(1, 1); math.Abs(got-2.2) > 1e-12 {
+		t.Fatalf("P11 = %v", got)
+	}
+}
+
+func TestTrackingRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := New(1)
+	f.SetP(mat.Diag(1))
+	q, r := 0.01, 0.2
+	Q := mat.Diag(q * q)
+	R := mat.Diag(r * r)
+	H := mat.FromSlice(1, 1, []float64{1})
+	truth := 0.0
+	var errSum, errSq float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		truth += rng.NormFloat64() * q
+		f.PredictAdditive(Q)
+		z := truth + rng.NormFloat64()*r
+		if _, err := f.Update([]float64{z}, []float64{f.State()[0]}, H, R); err != nil {
+			t.Fatal(err)
+		}
+		e := f.State()[0] - truth
+		errSum += e
+		errSq += e * e
+	}
+	rmse := math.Sqrt(errSq / float64(n))
+	// Steady-state error must be well below raw measurement noise.
+	if rmse > r/2 {
+		t.Fatalf("tracking RMSE %v not better than half measurement noise %v", rmse, r)
+	}
+	// And consistent with the filter's own reported sigma.
+	if sigma := f.Sigma(0); rmse > 3*sigma {
+		t.Fatalf("RMSE %v inconsistent with reported sigma %v", rmse, sigma)
+	}
+}
+
+func TestCovarianceStaysSymmetricPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5
+	f := New(n)
+	f.SetP(mat.Diag(1, 1, 1, 1, 1))
+	Q := mat.Diag(1e-6, 1e-6, 1e-6, 1e-6, 1e-6)
+	R := mat.Diag(0.01, 0.01)
+	for iter := 0; iter < 2000; iter++ {
+		f.PredictAdditive(Q)
+		// Random 2×5 measurement.
+		H := mat.New(2, n)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < n; j++ {
+				H.Set(i, j, rng.NormFloat64())
+			}
+		}
+		z := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		h := H.MulVec(f.State())
+		if _, err := f.Update(z, h, H, R); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		p := f.P()
+		if !p.Equal(p.T(), 1e-12) {
+			t.Fatalf("iter %d: P not symmetric", iter)
+		}
+		if _, err := mat.CholeskyFactor(p.AddM(mat.Identity(n).Scale(1e-12))); err != nil {
+			t.Fatalf("iter %d: P not PSD: %v", iter, err)
+		}
+	}
+}
+
+func TestInnovationOnlyDoesNotMutate(t *testing.T) {
+	f := New(1)
+	f.SetP(mat.Diag(4))
+	f.SetState([]float64{1})
+	H := mat.FromSlice(1, 1, []float64{1})
+	R := mat.Diag(1)
+	inn, err := f.InnovationOnly([]float64{3}, []float64{1}, H, R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.State()[0] != 1 || f.p.At(0, 0) != 4 {
+		t.Fatal("InnovationOnly mutated the filter")
+	}
+	if math.Abs(inn.Residual[0]-2) > 1e-12 || math.Abs(inn.Sigma[0]-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("innovation = %+v", inn)
+	}
+}
+
+func TestExceeds3Sigma(t *testing.T) {
+	cases := []struct {
+		res, sig []float64
+		want     bool
+	}{
+		{[]float64{1.6, 0}, []float64{0.5, 1}, true},     // 1.6 > 1.5
+		{[]float64{1.4, 0}, []float64{0.5, 1}, false},    // 1.4 < 1.5
+		{[]float64{0, -3.1}, []float64{0.5, 1}, true},    // negative side
+		{[]float64{1.0, -2.9}, []float64{0.5, 1}, false}, // both inside
+		{[]float64{-1.6, 3.1}, []float64{0.5, 1}, true},  // both outside
+	}
+	for i, c := range cases {
+		in := Innovation{Residual: c.res, Sigma: c.sig}
+		if got := in.Exceeds3Sigma(); got != c.want {
+			t.Errorf("case %d: Exceeds3Sigma = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func Test3SigmaExceedanceRateCalibrated(t *testing.T) {
+	// With correctly modelled noise, |residual| > 3σ should occur with
+	// probability ~0.0027 per scalar sample (the paper's "once every
+	// 100 samples" is a loose engineering bound).
+	rng := rand.New(rand.NewSource(4))
+	f := New(1)
+	f.SetP(mat.Diag(1))
+	H := mat.FromSlice(1, 1, []float64{1})
+	r := 0.1
+	R := mat.Diag(r * r)
+	truth := 0.5
+	count, total := 0, 0
+	for i := 0; i < 30000; i++ {
+		z := truth + rng.NormFloat64()*r
+		inn, err := f.Update([]float64{z}, []float64{f.State()[0]}, H, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 100 { // after convergence
+			total++
+			if inn.Exceeds3Sigma() {
+				count++
+			}
+		}
+	}
+	rate := float64(count) / float64(total)
+	if rate > 0.01 {
+		t.Fatalf("3σ exceedance rate %v too high for consistent filter", rate)
+	}
+}
+
+func TestUpdateShapeMismatchPanics(t *testing.T) {
+	f := New(2)
+	f.SetP(mat.Diag(1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	f.Update([]float64{1}, []float64{0}, mat.New(1, 3), mat.Diag(1))
+}
+
+func TestIllConditionedReturnsError(t *testing.T) {
+	f := New(1)
+	f.SetP(mat.Diag(0)) // zero covariance
+	H := mat.FromSlice(1, 1, []float64{1})
+	R := mat.Diag(0) // zero noise → S = 0
+	if _, err := f.Update([]float64{1}, []float64{0}, H, R); err != ErrIllConditioned {
+		t.Fatalf("err = %v, want ErrIllConditioned", err)
+	}
+}
+
+func TestSettersValidate(t *testing.T) {
+	f := New(2)
+	for _, fn := range []func(){
+		func() { f.SetState([]float64{1}) },
+		func() { f.SetP(mat.Diag(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad shape did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStateReturnsCopy(t *testing.T) {
+	f := New(1)
+	s := f.State()
+	s[0] = 99
+	if f.State()[0] != 0 {
+		t.Fatal("State aliases internal slice")
+	}
+	p := f.P()
+	p.Set(0, 0, 99)
+	if f.p.At(0, 0) != 0 {
+		t.Fatal("P aliases internal matrix")
+	}
+}
+
+func TestJosephFormRobustToLargePriorRatio(t *testing.T) {
+	// Standard-form covariance updates go slightly negative when
+	// P >> R; Joseph form must not.
+	f := New(1)
+	f.SetP(mat.Diag(1e12))
+	H := mat.FromSlice(1, 1, []float64{1})
+	R := mat.Diag(1e-6)
+	for i := 0; i < 10; i++ {
+		if _, err := f.Update([]float64{1}, []float64{f.State()[0]}, H, R); err != nil {
+			t.Fatal(err)
+		}
+		if f.p.At(0, 0) < 0 {
+			t.Fatalf("covariance went negative: %v", f.p.At(0, 0))
+		}
+	}
+}
+
+func BenchmarkUpdate7State2Meas(b *testing.B) {
+	f := New(7)
+	diag := make([]float64, 7)
+	for i := range diag {
+		diag[i] = 1
+	}
+	f.SetP(mat.Diag(diag...))
+	H := mat.New(2, 7)
+	H.Set(0, 0, 1)
+	H.Set(1, 1, 1)
+	R := mat.Diag(0.01, 0.01)
+	z := []float64{0.1, -0.1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := H.MulVec(f.State())
+		if _, err := f.Update(z, h, H, R); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package link
+
+import "boresight/internal/canbus"
+
+// The CAN-to-RS232 bridge re-encapsulates each received CAN frame in a
+// simple serial packet so the FPGA needs only a second UART rather than
+// a CAN controller — the paper's stated reason for the converter
+// (Section 7):
+//
+//	0xAA 0x55 | id_hi id_lo | dlc | data[dlc] | checksum
+//
+// where checksum is the two's-complement of the byte sum from id_hi to
+// the last data byte, so a verifier adding every byte including the
+// checksum gets zero.
+
+// Bridge header bytes.
+const (
+	BridgeSync0 = 0xAA
+	BridgeSync1 = 0x55
+)
+
+// BridgeEncode wraps one CAN frame in the bridge's serial packet format.
+func BridgeEncode(f canbus.Frame) []byte {
+	out := make([]byte, 0, 6+len(f.Data))
+	out = append(out, BridgeSync0, BridgeSync1,
+		byte(f.ID>>8), byte(f.ID), byte(len(f.Data)))
+	out = append(out, f.Data...)
+	var sum byte
+	for _, b := range out[2:] {
+		sum += b
+	}
+	out = append(out, byte(-sum))
+	return out
+}
+
+// BridgeParser reassembles CAN frames from the bridge's serial byte
+// stream. It resynchronises on the 0xAA 0x55 header after corruption.
+type BridgeParser struct {
+	buf     []byte
+	frames  int
+	badSum  int
+	badDLC  int
+	resyncs int
+}
+
+// Push consumes one received byte; when a complete, checksum-valid
+// packet is assembled it returns the reconstructed CAN frame and true.
+func (p *BridgeParser) Push(b byte) (canbus.Frame, bool) {
+	p.buf = append(p.buf, b)
+	for {
+		// Hunt for the sync pattern.
+		if len(p.buf) >= 1 && p.buf[0] != BridgeSync0 {
+			p.dropToSync()
+			continue
+		}
+		if len(p.buf) >= 2 && p.buf[1] != BridgeSync1 {
+			p.buf = p.buf[1:]
+			p.resyncs++
+			continue
+		}
+		if len(p.buf) < 5 {
+			return canbus.Frame{}, false
+		}
+		dlc := int(p.buf[4])
+		if dlc > 8 {
+			p.badDLC++
+			p.buf = p.buf[1:]
+			p.resyncs++
+			continue
+		}
+		total := 6 + dlc
+		if len(p.buf) < total {
+			return canbus.Frame{}, false
+		}
+		var sum byte
+		for _, x := range p.buf[2:total] {
+			sum += x
+		}
+		if sum != 0 {
+			p.badSum++
+			p.buf = p.buf[1:]
+			p.resyncs++
+			continue
+		}
+		f := canbus.Frame{
+			ID:   uint16(p.buf[2])<<8 | uint16(p.buf[3]),
+			Data: append([]byte(nil), p.buf[5:5+dlc]...),
+		}
+		p.buf = p.buf[total:]
+		p.frames++
+		return f, true
+	}
+}
+
+func (p *BridgeParser) dropToSync() {
+	for i, b := range p.buf {
+		if b == BridgeSync0 {
+			if i > 0 {
+				p.resyncs++
+			}
+			p.buf = p.buf[i:]
+			return
+		}
+	}
+	if len(p.buf) > 0 {
+		p.resyncs++
+	}
+	p.buf = p.buf[:0]
+}
+
+// Stats returns parser health counters: good frames, checksum failures,
+// bad length fields, and resynchronisation events.
+func (p *BridgeParser) Stats() (frames, badSum, badDLC, resyncs int) {
+	return p.frames, p.badSum, p.badDLC, p.resyncs
+}

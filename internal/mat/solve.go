@@ -1,0 +1,237 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix is not
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// LU holds the LU factorisation of a square matrix with partial pivoting:
+// P*A = L*U, where L is unit lower triangular and U upper triangular.
+type LU struct {
+	lu    *Mat  // packed L (below diag, unit diag implicit) and U (on/above diag)
+	piv   []int // row permutation
+	signs int   // permutation parity, +1 or -1
+}
+
+// Factor computes the LU factorisation of square a with partial pivoting.
+func Factor(a *Mat) (*LU, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Factor on non-square %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	signs := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot: find the largest magnitude in column k at or
+		// below the diagonal.
+		p := k
+		max := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.data[i*n+k]); a > max {
+				max, p = a, i
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rowp := lu.data[p*n : (p+1)*n]
+			rowk := lu.data[k*n : (k+1)*n]
+			for j := range rowk {
+				rowk[j], rowp[j] = rowp[j], rowk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			signs = -signs
+		}
+		pivot := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / pivot
+			lu.data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.data[i*n+j] -= m * lu.data[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, signs: signs}, nil
+}
+
+// SolveVec solves A*x = b for one right-hand side.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: SolveVec got %d-vector for %dx%d system", len(b), n, n))
+	}
+	x := make([]float64, n)
+	// Apply permutation.
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		var s float64
+		row := f.lu.data[i*n : i*n+i]
+		for j, l := range row {
+			s += l * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.data[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu.data[i*n+i]
+	}
+	return x
+}
+
+// Solve solves A*X = B column by column.
+func (f *LU) Solve(b *Mat) *Mat {
+	n := f.lu.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("mat: Solve rhs has %d rows for %dx%d system", b.rows, n, n))
+	}
+	out := New(n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		x := f.SolveVec(b.Col(j))
+		for i, v := range x {
+			out.data[i*b.cols+j] = v
+		}
+	}
+	return out
+}
+
+// Det returns the determinant from the factorisation.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := float64(f.signs)
+	for i := 0; i < n; i++ {
+		d *= f.lu.data[i*n+i]
+	}
+	return d
+}
+
+// Inverse returns A⁻¹ for square a, or ErrSingular.
+func Inverse(a *Mat) (*Mat, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.rows)), nil
+}
+
+// Solve solves A*X = B, returning X, or ErrSingular.
+func Solve(a, b *Mat) (*Mat, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Det returns the determinant of square a (0 if singular).
+func Det(a *Mat) float64 {
+	f, err := Factor(a)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}
+
+// Cholesky holds the lower-triangular Cholesky factor L with A = L*Lᵀ.
+type Cholesky struct {
+	l *Mat
+}
+
+// CholeskyFactor computes the Cholesky factorisation of a symmetric
+// positive definite matrix.
+func CholeskyFactor(a *Mat) (*Cholesky, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: CholeskyFactor on non-square %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			v := l.data[j*n+k]
+			d += v * v
+		}
+		d = a.data[j*n+j] - d
+		if d <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.data[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = (a.data[i*n+j] - s) / ljj
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Mat { return c.l.Clone() }
+
+// SolveVec solves A*x = b using the factorisation.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	n := c.l.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: Cholesky SolveVec got %d-vector for %dx%d system", len(b), n, n))
+	}
+	// Forward: L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= c.l.data[i*n+j] * y[j]
+		}
+		y[i] = s / c.l.data[i*n+i]
+	}
+	// Back: Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.data[j*n+i] * y[j]
+		}
+		y[i] = s / c.l.data[i*n+i]
+	}
+	return y
+}
+
+// Solve solves A*X = B column by column.
+func (c *Cholesky) Solve(b *Mat) *Mat {
+	n := c.l.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("mat: Cholesky Solve rhs has %d rows for %dx%d system", b.rows, n, n))
+	}
+	out := New(n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		x := c.SolveVec(b.Col(j))
+		for i, v := range x {
+			out.data[i*b.cols+j] = v
+		}
+	}
+	return out
+}

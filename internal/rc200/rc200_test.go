@@ -1,0 +1,231 @@
+package rc200
+
+import (
+	"testing"
+
+	"boresight/internal/hcsim"
+	"boresight/internal/video"
+)
+
+func TestSRAMWriteThenRead(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	m.Write(100, 0xDEADBEEF)
+	s.Tick() // write lands at the edge
+	if m.Peek(100) != 0xDEADBEEF {
+		t.Fatalf("Peek = %x", m.Peek(100))
+	}
+	m.RequestRead(100)
+	s.Tick() // address registered
+	if m.Data() != 0xDEADBEEF {
+		t.Fatalf("Data = %x", m.Data())
+	}
+}
+
+func TestSRAMReadLatencyOneCycle(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	m.Poke(1, 0x11)
+	m.Poke(2, 0x22)
+	m.RequestRead(1)
+	s.Tick()
+	got1 := m.Data()
+	m.RequestRead(2)
+	// Before the next edge, Data still shows address 1.
+	if m.Data() != 0x11 {
+		t.Fatalf("pre-edge Data = %x", m.Data())
+	}
+	s.Tick()
+	got2 := m.Data()
+	if got1 != 0x11 || got2 != 0x22 {
+		t.Fatalf("pipelined reads = %x %x", got1, got2)
+	}
+}
+
+func TestSRAMAddressWraps(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	m.Poke(0, 42)
+	m.RequestRead(SRAMWords) // wraps to 0
+	s.Tick()
+	if m.Data() != 42 {
+		t.Fatalf("wrapped read = %d", m.Data())
+	}
+}
+
+func TestSRAMStats(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	m.RequestRead(1)
+	m.Write(2, 3)
+	s.Tick()
+	r, w := m.Stats()
+	if r != 1 || w != 1 {
+		t.Fatalf("stats = %d %d", r, w)
+	}
+}
+
+func TestLoadReadFrame(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	f := video.Checkerboard(16, 8, 4)
+	m.LoadFrame(f)
+	if !m.ReadFrame(16, 8).Equal(f) {
+		t.Fatal("frame round trip through SRAM failed")
+	}
+}
+
+func TestLoadFrameTooBigPanics(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized frame accepted")
+		}
+	}()
+	m.LoadFrame(video.NewFrame(1024, 1024))
+}
+
+func TestVideoInCapturesFrame(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	src := video.Checkerboard(8, 8, 2)
+	vi := NewVideoIn(s, 8, 8, func(int) *video.Frame { return src })
+	vi.Enable(m)
+	s.Run(8 * 8) // one pixel per cycle
+	if vi.FramesCaptured() != 1 {
+		t.Fatalf("frames captured = %d", vi.FramesCaptured())
+	}
+	if !m.ReadFrame(8, 8).Equal(src) {
+		t.Fatal("captured frame mismatch")
+	}
+}
+
+func TestVideoInContinuousFrames(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	frames := 0
+	vi := NewVideoIn(s, 4, 4, func(n int) *video.Frame {
+		frames = n + 1
+		f := video.NewFrame(4, 4)
+		f.Fill(video.Pixel(n))
+		return f
+	})
+	vi.Enable(m)
+	s.Run(4 * 4 * 3)
+	if vi.FramesCaptured() != 3 {
+		t.Fatalf("captured %d frames", vi.FramesCaptured())
+	}
+	if frames != 3 {
+		t.Fatalf("source invoked for %d frames", frames)
+	}
+	// Third frame (index 2) is in memory.
+	if m.Peek(0) != 2 {
+		t.Fatalf("last frame value = %d", m.Peek(0))
+	}
+}
+
+func TestVideoInSizeMismatchPanics(t *testing.T) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	vi := NewVideoIn(s, 8, 8, func(int) *video.Frame { return video.NewFrame(4, 4) })
+	vi.Enable(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch accepted")
+		}
+	}()
+	s.Tick()
+}
+
+func TestVideoInDisabledDoesNothing(t *testing.T) {
+	s := hcsim.NewSim()
+	calls := 0
+	NewVideoIn(s, 4, 4, func(int) *video.Frame {
+		calls++
+		return video.NewFrame(4, 4)
+	})
+	s.Run(100)
+	if calls != 0 {
+		t.Fatal("disabled VideoIn fetched frames")
+	}
+}
+
+func TestDisplayFrameCounting(t *testing.T) {
+	d := NewDisplay(4, 2)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 4; x++ {
+			d.Push(x, y, video.RGB(1, 2, 3))
+		}
+	}
+	if d.Frames() != 1 || d.Pixels() != 8 {
+		t.Fatalf("frames=%d pixels=%d", d.Frames(), d.Pixels())
+	}
+	if d.Frame.At(3, 1) != video.RGB(1, 2, 3) {
+		t.Fatal("pixel not stored")
+	}
+}
+
+func TestDoubleBufferSwap(t *testing.T) {
+	s := hcsim.NewSim()
+	a, b := NewSRAM(s), NewSRAM(s)
+	db := NewDoubleBuffer(a, b)
+	if db.Front() != a || db.Back() != b {
+		t.Fatal("initial assignment wrong")
+	}
+	db.Swap()
+	if db.Front() != b || db.Back() != a {
+		t.Fatal("swap did not exchange banks")
+	}
+	if db.Swaps() != 1 {
+		t.Fatalf("Swaps = %d", db.Swaps())
+	}
+}
+
+func TestDoubleBufferNoTearing(t *testing.T) {
+	// Capture into the back bank while reading the front: the front
+	// must never contain a partially new frame.
+	s := hcsim.NewSim()
+	a, b := NewSRAM(s), NewSRAM(s)
+	db := NewDoubleBuffer(a, b)
+	frameVal := uint32(0)
+	vi := NewVideoIn(s, 4, 4, func(n int) *video.Frame {
+		frameVal = uint32(n)
+		f := video.NewFrame(4, 4)
+		f.Fill(video.Pixel(n + 1))
+		return f
+	})
+	vi.Enable(db.Back())
+	// Run half a frame; the front bank must be untouched (all zero).
+	s.Run(8)
+	for i := 0; i < 16; i++ {
+		if db.Front().Peek(i) != 0 {
+			t.Fatal("capture wrote the front bank")
+		}
+	}
+	_ = frameVal
+	// Finish the frame, swap, retarget: next frame goes to the other
+	// bank while the completed one is displayed.
+	s.Run(8)
+	db.Swap()
+	vi.Retarget(db.Back())
+	s.Run(16)
+	// Front (old back) holds frame 1 entirely.
+	for i := 0; i < 16; i++ {
+		if db.Front().Peek(i) != 1 {
+			t.Fatalf("front word %d = %d, want 1", i, db.Front().Peek(i))
+		}
+	}
+}
+
+func BenchmarkVideoInCapture(b *testing.B) {
+	s := hcsim.NewSim()
+	m := NewSRAM(s)
+	src := video.Checkerboard(64, 64, 8)
+	vi := NewVideoIn(s, 64, 64, func(int) *video.Frame { return src })
+	vi.Enable(m)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+}

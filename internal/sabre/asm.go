@@ -1,0 +1,538 @@
+package sabre
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: machine words plus the symbol
+// table for debugging.
+type Program struct {
+	Words   []uint32
+	Symbols map[string]uint32 // label -> word address
+}
+
+// register aliases accepted by the assembler, in addition to r0..r15.
+var regAliases = map[string]int{
+	"zero": 0,
+	"a0":   1, "a1": 2, "a2": 3, "a3": 4,
+	"t0": 5, "t1": 6, "t2": 7, "t3": 8, "t4": 9,
+	"s0": 10, "s1": 11, "s2": 12,
+	"fp": 13, "sp": 14, "ra": 15,
+}
+
+// mnemonic lookup built from opTable.
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// asmError decorates an error with its source line.
+func asmError(lineNo int, format string, args ...interface{}) error {
+	return fmt.Errorf("sabre asm: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+}
+
+type asmLine struct {
+	no    int
+	label string
+	mnem  string
+	args  []string
+	size  int // words emitted
+}
+
+// Assemble translates assembly source to machine code. See the package
+// comment for the syntax; supported directives are `.equ NAME, value`
+// and `.word v[, v...]`, and the usual pseudo-instructions (li, la, mv,
+// j, call, ret, nop, beqz, bnez, bgt, ble, bgtu, bleu, neg, not, subi)
+// expand to base instructions.
+func Assemble(src string) (*Program, error) {
+	consts := make(map[string]int64)
+	labels := make(map[string]uint32)
+	var lines []asmLine
+
+	// Pass 1: tokenise, size instructions, collect labels and .equ.
+	addr := uint32(0)
+	for no, raw := range strings.Split(src, "\n") {
+		lineNo := no + 1
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) at line start.
+		var label string
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && isIdent(strings.TrimSpace(line[:i])) {
+				label = strings.TrimSpace(line[:i])
+				if _, dup := labels[label]; dup {
+					return nil, asmError(lineNo, "duplicate label %q", label)
+				}
+				labels[label] = addr
+				line = strings.TrimSpace(line[i+1:])
+				if line == "" {
+					break
+				}
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := strings.ToLower(fields[0])
+		var args []string
+		if len(fields) > 1 {
+			for _, a := range strings.Split(fields[1], ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		if mnem == ".equ" {
+			if len(args) != 2 {
+				return nil, asmError(lineNo, ".equ needs NAME, value")
+			}
+			v, err := parseValue(args[1], consts, nil)
+			if err != nil {
+				return nil, asmError(lineNo, ".equ %s: %v", args[0], err)
+			}
+			consts[args[0]] = v
+			continue
+		}
+		l := asmLine{no: lineNo, label: label, mnem: mnem, args: args}
+		var err error
+		l.size, err = sizeOf(l, consts)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, l)
+		addr += uint32(l.size)
+	}
+	if addr > ProgWords {
+		return nil, fmt.Errorf("sabre asm: program of %d words exceeds %d-word store", addr, ProgWords)
+	}
+
+	// Pass 2: encode.
+	words := make([]uint32, 0, addr)
+	pc := uint32(0)
+	for _, l := range lines {
+		ws, err := encodeLine(l, pc, consts, labels)
+		if err != nil {
+			return nil, err
+		}
+		if len(ws) != l.size {
+			return nil, asmError(l.no, "internal: size mismatch %d != %d", len(ws), l.size)
+		}
+		words = append(words, ws...)
+		pc += uint32(len(ws))
+	}
+	return &Program{Words: words, Symbols: labels}, nil
+}
+
+// MustAssemble assembles or panics — for the embedded library sources,
+// whose correctness is covered by tests.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "//", "#"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseValue evaluates a numeric literal, character constant, .equ
+// constant or (when labels != nil) label reference. Labels evaluate to
+// their *byte* address (word address × 4), matching what JALR consumes.
+func parseValue(s string, consts map[string]int64, labels map[string]uint32) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == "\\n" {
+			return '\n', nil
+		}
+		if len(body) == 1 {
+			return int64(body[0]), nil
+		}
+		return 0, fmt.Errorf("bad char constant %s", s)
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, ok := consts[s]; ok {
+		return v, nil
+	}
+	if labels != nil {
+		if a, ok := labels[s]; ok {
+			return int64(a) * 4, nil
+		}
+	}
+	return 0, fmt.Errorf("undefined symbol %q", s)
+}
+
+// fitsImm18 reports whether v fits the signed 18-bit immediate.
+func fitsImm18(v int64) bool { return v >= immMin && v <= immMax }
+
+// sizeOf returns how many words a source line assembles to. The li
+// pseudo-instruction's size depends only on literals and .equ constants
+// (which must be defined before use), keeping pass 1 deterministic.
+func sizeOf(l asmLine, consts map[string]int64) (int, error) {
+	switch l.mnem {
+	case ".word":
+		if len(l.args) == 0 {
+			return 0, asmError(l.no, ".word needs at least one value")
+		}
+		return len(l.args), nil
+	case "li":
+		if len(l.args) != 2 {
+			return 0, asmError(l.no, "li needs rd, imm")
+		}
+		v, err := parseValue(l.args[1], consts, nil)
+		if err != nil {
+			return 0, asmError(l.no, "li: %v (labels need la)", err)
+		}
+		if fitsImm18(v) {
+			return 1, nil
+		}
+		return 2, nil
+	case "la":
+		return 2, nil
+	default:
+		return 1, nil
+	}
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := regAliases[s]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < 16 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseMem parses "offset(reg)" with an optional offset.
+func parseMem(s string, consts map[string]int64) (int32, int, error) {
+	i := strings.Index(s, "(")
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:i])
+	var off int64
+	if offStr != "" {
+		var err error
+		off, err = parseValue(offStr, consts, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if !fitsImm18(off) {
+		return 0, 0, fmt.Errorf("offset %d out of range", off)
+	}
+	reg, err := parseReg(s[i+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(off), reg, nil
+}
+
+func encodeLine(l asmLine, pc uint32, consts map[string]int64, labels map[string]uint32) ([]uint32, error) {
+	fail := func(format string, args ...interface{}) ([]uint32, error) {
+		return nil, asmError(l.no, format, args...)
+	}
+	reg := func(i int) (int, error) {
+		if i >= len(l.args) {
+			return 0, fmt.Errorf("missing operand %d", i+1)
+		}
+		return parseReg(l.args[i])
+	}
+	val := func(i int) (int64, error) {
+		if i >= len(l.args) {
+			return 0, fmt.Errorf("missing operand %d", i+1)
+		}
+		return parseValue(l.args[i], consts, labels)
+	}
+	branchTarget := func(i int) (int32, error) {
+		if i >= len(l.args) {
+			return 0, fmt.Errorf("missing branch target")
+		}
+		a, ok := labels[l.args[i]]
+		if !ok {
+			return 0, fmt.Errorf("undefined label %q", l.args[i])
+		}
+		off := int64(a) - int64(pc)
+		if !fitsImm18(off) {
+			return 0, fmt.Errorf("branch to %q out of range (%d words)", l.args[i], off)
+		}
+		return int32(off), nil
+	}
+
+	// Directives.
+	if l.mnem == ".word" {
+		out := make([]uint32, 0, len(l.args))
+		for _, a := range l.args {
+			v, err := parseValue(a, consts, labels)
+			if err != nil {
+				return fail(".word: %v", err)
+			}
+			out = append(out, uint32(v))
+		}
+		return out, nil
+	}
+
+	// Pseudo-instructions.
+	switch l.mnem {
+	case "nop":
+		return []uint32{encR(OpADD, 0, 0, 0)}, nil
+	case "li":
+		rd, err := reg(0)
+		if err != nil {
+			return fail("li: %v", err)
+		}
+		v, err := parseValue(l.args[1], consts, nil)
+		if err != nil {
+			return fail("li: %v", err)
+		}
+		if fitsImm18(v) {
+			return []uint32{encI(OpADDI, rd, 0, int32(v))}, nil
+		}
+		u := uint32(v)
+		out := []uint32{encU(OpLUI, rd, u>>16)}
+		if low := u & 0xFFFF; low != 0 {
+			out = append(out, encI(OpORI, rd, rd, int32(low)))
+		} else {
+			out = append(out, encR(OpADD, rd, rd, 0))
+		}
+		return out, nil
+	case "la":
+		rd, err := reg(0)
+		if err != nil {
+			return fail("la: %v", err)
+		}
+		v, err := val(1)
+		if err != nil {
+			return fail("la: %v", err)
+		}
+		u := uint32(v)
+		return []uint32{encU(OpLUI, rd, u>>16), encI(OpORI, rd, rd, int32(u&0xFFFF))}, nil
+	case "mv":
+		rd, err1 := reg(0)
+		rs, err2 := reg(1)
+		if err1 != nil || err2 != nil {
+			return fail("mv: bad operands")
+		}
+		return []uint32{encI(OpADDI, rd, rs, 0)}, nil
+	case "neg":
+		rd, err1 := reg(0)
+		rs, err2 := reg(1)
+		if err1 != nil || err2 != nil {
+			return fail("neg: bad operands")
+		}
+		return []uint32{encR(OpSUB, rd, 0, rs)}, nil
+	case "not":
+		rd, err1 := reg(0)
+		rs, err2 := reg(1)
+		if err1 != nil || err2 != nil {
+			return fail("not: bad operands")
+		}
+		return []uint32{encI(OpXORI, rd, rs, -1)}, nil
+	case "subi":
+		rd, err1 := reg(0)
+		rs, err2 := reg(1)
+		v, err3 := val(2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fail("subi: bad operands")
+		}
+		if !fitsImm18(-v) {
+			return fail("subi: immediate out of range")
+		}
+		return []uint32{encI(OpADDI, rd, rs, int32(-v))}, nil
+	case "j":
+		a, ok := labels[l.args[0]]
+		if !ok {
+			return fail("j: undefined label %q", l.args[0])
+		}
+		off := int64(a) - int64(pc)
+		if off < jImmMin || off > jImmMax {
+			return fail("j: target out of range")
+		}
+		return []uint32{encJ(OpJAL, 0, int32(off))}, nil
+	case "call":
+		a, ok := labels[l.args[0]]
+		if !ok {
+			return fail("call: undefined label %q", l.args[0])
+		}
+		off := int64(a) - int64(pc)
+		if off < jImmMin || off > jImmMax {
+			return fail("call: target out of range")
+		}
+		return []uint32{encJ(OpJAL, 15, int32(off))}, nil
+	case "ret":
+		return []uint32{encI(OpJALR, 0, 15, 0)}, nil
+	case "beqz", "bnez":
+		rs, err := reg(0)
+		if err != nil {
+			return fail("%s: %v", l.mnem, err)
+		}
+		off, err := branchTarget(1)
+		if err != nil {
+			return fail("%s: %v", l.mnem, err)
+		}
+		op := OpBEQ
+		if l.mnem == "bnez" {
+			op = OpBNE
+		}
+		return []uint32{encB(op, rs, 0, off)}, nil
+	case "bgt", "ble", "bgtu", "bleu":
+		rs1, err1 := reg(0)
+		rs2, err2 := reg(1)
+		if err1 != nil || err2 != nil {
+			return fail("%s: bad operands", l.mnem)
+		}
+		off, err := branchTarget(2)
+		if err != nil {
+			return fail("%s: %v", l.mnem, err)
+		}
+		// Swap operands: a > b  ==  b < a.
+		var op Opcode
+		switch l.mnem {
+		case "bgt":
+			op = OpBLT
+		case "ble":
+			op = OpBGE
+		case "bgtu":
+			op = OpBLTU
+		default:
+			op = OpBGEU
+		}
+		return []uint32{encB(op, rs2, rs1, off)}, nil
+	}
+
+	// Base instructions.
+	op, ok := mnemonics[l.mnem]
+	if !ok {
+		return fail("unknown mnemonic %q", l.mnem)
+	}
+	switch opTable[op].kind {
+	case 'H':
+		return []uint32{encR(op, 0, 0, 0)}, nil
+	case 'R':
+		rd, err1 := reg(0)
+		rs1, err2 := reg(1)
+		rs2, err3 := reg(2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fail("%s: bad operands", l.mnem)
+		}
+		return []uint32{encR(op, rd, rs1, rs2)}, nil
+	case 'I':
+		rd, err1 := reg(0)
+		rs1, err2 := reg(1)
+		v, err3 := val(2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fail("%s: bad operands", l.mnem)
+		}
+		if !fitsImm18(v) && uint64(v) > 0x3FFFF {
+			return fail("%s: immediate %d out of range", l.mnem, v)
+		}
+		return []uint32{encI(op, rd, rs1, int32(v))}, nil
+	case 'M':
+		rd, err1 := reg(0)
+		if err1 != nil {
+			return fail("%s: %v", l.mnem, err1)
+		}
+		if len(l.args) < 2 {
+			return fail("%s: missing memory operand", l.mnem)
+		}
+		off, rs1, err := parseMem(l.args[1], consts)
+		if err != nil {
+			return fail("%s: %v", l.mnem, err)
+		}
+		return []uint32{encI(op, rd, rs1, off)}, nil
+	case 'B':
+		rs1, err1 := reg(0)
+		rs2, err2 := reg(1)
+		if err1 != nil || err2 != nil {
+			return fail("%s: bad operands", l.mnem)
+		}
+		off, err := branchTarget(2)
+		if err != nil {
+			return fail("%s: %v", l.mnem, err)
+		}
+		return []uint32{encB(op, rs1, rs2, off)}, nil
+	case 'U':
+		rd, err1 := reg(0)
+		v, err2 := val(1)
+		if err1 != nil || err2 != nil {
+			return fail("lui: bad operands")
+		}
+		if v < 0 || v > 0xFFFF {
+			return fail("lui: immediate %d out of 16-bit range", v)
+		}
+		return []uint32{encU(op, rd, uint32(v))}, nil
+	case 'J':
+		rd, err := reg(0)
+		if err != nil {
+			return fail("jal: %v", err)
+		}
+		a, ok := labels[l.args[1]]
+		if !ok {
+			return fail("jal: undefined label %q", l.args[1])
+		}
+		off := int64(a) - int64(pc)
+		if off < jImmMin || off > jImmMax {
+			return fail("jal: target out of range")
+		}
+		return []uint32{encJ(op, rd, int32(off))}, nil
+	case 'r':
+		rd, err1 := reg(0)
+		rs1, err2 := reg(1)
+		v := int64(0)
+		if len(l.args) > 2 {
+			var err3 error
+			v, err3 = val(2)
+			if err3 != nil {
+				return fail("jalr: %v", err3)
+			}
+		}
+		if err1 != nil || err2 != nil || !fitsImm18(v) {
+			return fail("jalr: bad operands")
+		}
+		return []uint32{encI(op, rd, rs1, int32(v))}, nil
+	}
+	return fail("unhandled opcode kind for %q", l.mnem)
+}

@@ -1,0 +1,125 @@
+package sabre
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boresight/internal/fxcore"
+	"boresight/internal/geom"
+	"boresight/internal/traj"
+)
+
+// buildFxInputs synthesises a multi-pose static scenario with noise.
+func buildFxInputs(n int, mis geom.Euler, seed int64) []FxBoresightInput {
+	rng := rand.New(rand.NewSource(seed))
+	poses := []geom.Euler{
+		geom.EulerDeg(0, 0, 0),
+		geom.EulerDeg(0, 20, 0),
+		geom.EulerDeg(0, -20, 0),
+		geom.EulerDeg(20, 0, 0),
+	}
+	dwell := n / len(poses)
+	if dwell < 1 {
+		dwell = 1
+	}
+	out := make([]FxBoresightInput, n)
+	for i := range out {
+		att := poses[(i/dwell)%len(poses)]
+		f := (traj.StaticPose{Attitude: att, Dur: 1}).At(0).SpecificForce()
+		fs := mis.DCM().T().Apply(f)
+		out[i] = FxBoresightInput{
+			F:  f,
+			AX: fs[0] + rng.NormFloat64()*0.01,
+			AY: fs[1] + rng.NormFloat64()*0.01,
+		}
+	}
+	return out
+}
+
+func TestFxBoresightBitExactAgainstHost(t *testing.T) {
+	mis := geom.EulerDeg(1.5, -2.0, 1.0)
+	cfg := fxcore.DefaultConfig()
+	const dt = 0.01
+	inputs := buildFxInputs(800, mis, 1)
+
+	res, err := RunFxBoresight(cfg, dt, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	host := fxcore.New(cfg)
+	for i, in := range inputs {
+		if _, _, err := host.Step(dt, in.F, in.AX, in.AY); err != nil {
+			t.Fatal(err)
+		}
+		want := host.RawState()
+		for k := 0; k < 3; k++ {
+			if int64(res.States[i][k]) != want[k] {
+				t.Fatalf("epoch %d state[%d]: core %#x vs host %#x",
+					i, k, res.States[i][k], want[k])
+			}
+		}
+	}
+	t.Logf("fixed-point boresight on the core: %.0f cycles/update", res.CyclesPerUpdate)
+}
+
+func TestFxBoresightConverges(t *testing.T) {
+	mis := geom.EulerDeg(2.0, -1.0, 0.8)
+	cfg := fxcore.DefaultConfig()
+	inputs := buildFxInputs(1500, mis, 2)
+	res, err := RunFxBoresight(cfg, 0.01, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Final
+	if math.Abs(geom.Rad2Deg(got.Roll-mis.Roll)) > 0.15 ||
+		math.Abs(geom.Rad2Deg(got.Pitch-mis.Pitch)) > 0.15 ||
+		math.Abs(geom.Rad2Deg(got.Yaw-mis.Yaw)) > 0.15 {
+		r, p, y := got.Deg()
+		t.Fatalf("estimate (%v, %v, %v)°, want (2, -1, 0.8)°", r, p, y)
+	}
+}
+
+func TestFxBoresightCycleBudget(t *testing.T) {
+	inputs := buildFxInputs(100, geom.EulerDeg(1, 1, 1), 3)
+	res, err := RunFxBoresight(fxcore.DefaultConfig(), 0.01, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full 3-state fusion epoch in integer arithmetic; the six
+	// 64-step divisions dominate. At 25 MHz this must leave large
+	// headroom over the 100 Hz sensor rate.
+	t.Logf("cycles/update %.0f -> %.0f updates/s at 25 MHz",
+		res.CyclesPerUpdate, 25e6/res.CyclesPerUpdate)
+	if res.CyclesPerUpdate > 60000 {
+		t.Fatalf("cycles/update %.0f too slow for real time", res.CyclesPerUpdate)
+	}
+	if 25e6/res.CyclesPerUpdate < 500 {
+		t.Fatalf("only %.0f updates/s at 25 MHz", 25e6/res.CyclesPerUpdate)
+	}
+}
+
+func TestFxBoresightValidation(t *testing.T) {
+	if _, err := RunFxBoresight(fxcore.DefaultConfig(), 0.01,
+		make([]FxBoresightInput, MaxFxBoresightEpochs+1)); err == nil {
+		t.Fatal("oversized input accepted")
+	}
+	if _, err := RunFxBoresight(fxcore.Config{}, 0.01, nil); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	res, err := RunFxBoresight(fxcore.DefaultConfig(), 0.01, nil)
+	if err != nil || len(res.States) != 0 {
+		t.Fatalf("empty run: %v", err)
+	}
+}
+
+func BenchmarkFxBoresightUpdate(b *testing.B) {
+	inputs := buildFxInputs(50, geom.EulerDeg(1, 1, 1), 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFxBoresight(fxcore.DefaultConfig(), 0.01, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

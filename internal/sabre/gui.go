@@ -1,0 +1,177 @@
+package sabre
+
+import "boresight/internal/video"
+
+// RenderGUI executes recorded GUI-peripheral commands onto a frame —
+// the display half of SabreGuiRun (Figure 7), which draws the paper's
+// on-screen user interface over the video. Supported primitives:
+//
+//	Op 1: line from (X0,Y0) to (X1,Y1) in Color (Bresenham)
+//	Op 2: clear the rectangle (X0,Y0)-(X1,Y1) to Color
+//	Op 3: filled 8×8 text cell at (X0,Y0) in Color (block glyph)
+//
+// Unknown opcodes are ignored, like unimplemented hardware commands.
+func RenderGUI(commands []GUICommand, f *video.Frame) {
+	for _, c := range commands {
+		switch c.Op {
+		case 1:
+			drawLine(f, int(c.X0), int(c.Y0), int(c.X1), int(c.Y1), video.Pixel(c.Color))
+		case 2:
+			fillRect(f, int(c.X0), int(c.Y0), int(c.X1), int(c.Y1), video.Pixel(c.Color))
+		case 3:
+			fillRect(f, int(c.X0), int(c.Y0), int(c.X0)+7, int(c.Y0)+7, video.Pixel(c.Color))
+		}
+	}
+}
+
+// drawLine rasterises with the integer Bresenham algorithm — the same
+// structure the hardware line engine uses.
+func drawLine(f *video.Frame, x0, y0, x1, y1 int, p video.Pixel) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		f.Set(x0, y0, p)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func fillRect(f *video.Frame, x0, y0, x1, y1 int, p video.Pixel) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			f.Set(x, y, p)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// guiDemoMain is a Sabre program that draws the paper's style of status
+// overlay: clear a status strip, draw a crosshair at the image centre
+// and a border, then plot a residual trace from a data-memory array.
+//
+// Memory: 0x00 holds the trace length, samples (already scaled to
+// pixels) from 0x100.
+const guiDemoMain = `
+	.equ GUI, 0x10300
+	li sp, 0xFF00
+	li s0, GUI
+
+	; clear status strip: rect (0,0)-(319,16) dark
+	sw zero, 0(s0)
+	sw zero, 4(s0)
+	li t0, 319
+	sw t0, 8(s0)
+	li t0, 16
+	sw t0, 12(s0)
+	li t0, 0x202020
+	sw t0, 16(s0)
+	li t0, 2
+	sw t0, 20(s0)
+
+	; crosshair at (160,120)
+	li t0, 150
+	sw t0, 0(s0)
+	li t0, 120
+	sw t0, 4(s0)
+	li t0, 170
+	sw t0, 8(s0)
+	li t0, 120
+	sw t0, 12(s0)
+	li t0, 0x00FF00
+	sw t0, 16(s0)
+	li t0, 1
+	sw t0, 20(s0)
+	li t0, 160
+	sw t0, 0(s0)
+	li t0, 110
+	sw t0, 4(s0)
+	li t0, 160
+	sw t0, 8(s0)
+	li t0, 130
+	sw t0, 12(s0)
+	li t0, 1
+	sw t0, 20(s0)
+
+	; residual trace: connect successive samples
+	lw s1, 0(zero)          ; n samples
+	li t4, 2
+	blt s1, t4, gd_done     ; need at least 2 points
+	li s2, 0x100            ; sample pointer
+	li t4, 0                ; x coordinate
+	lw t3, 0(s2)            ; previous y
+gd_loop:
+	addi s2, s2, 4
+	addi t4, t4, 1
+	addi s1, s1, -1
+	li t0, 1
+	beq s1, t0, gd_done
+	lw t2, 0(s2)            ; next y
+	; line (x-1, prev) -> (x, next), amber
+	addi t0, t4, -1
+	sw t0, 0(s0)
+	sw t3, 4(s0)
+	sw t4, 8(s0)
+	sw t2, 12(s0)
+	li t0, 0xFFB000
+	sw t0, 16(s0)
+	li t0, 1
+	sw t0, 20(s0)
+	mv t3, t2
+	j gd_loop
+gd_done:
+	halt
+`
+
+// RunGUIDemo executes the overlay program with the given residual trace
+// (pixel y values) and returns the recorded GUI commands.
+func RunGUIDemo(trace []uint32) ([]GUICommand, error) {
+	prog, err := Assemble(guiDemoMain)
+	if err != nil {
+		return nil, err
+	}
+	c := New()
+	gui := &GUI{}
+	c.Map(GUIBase, gui)
+	if err := c.LoadProgram(prog.Words); err != nil {
+		return nil, err
+	}
+	c.StoreWord(0, uint32(len(trace)))
+	for i, v := range trace {
+		c.StoreWord(uint32(0x100+4*i), v)
+	}
+	if _, err := c.Run(uint64(len(trace))*200 + 10000); err != nil {
+		return nil, err
+	}
+	return gui.Commands, nil
+}

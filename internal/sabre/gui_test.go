@@ -1,0 +1,110 @@
+package sabre
+
+import (
+	"testing"
+
+	"boresight/internal/video"
+)
+
+func TestRenderGUILine(t *testing.T) {
+	f := video.NewFrame(16, 16)
+	RenderGUI([]GUICommand{
+		{Op: 1, X0: 0, Y0: 0, X1: 15, Y1: 15, Color: 0xFF0000},
+	}, f)
+	// Diagonal endpoints and midpoint set.
+	for _, p := range [][2]int{{0, 0}, {15, 15}, {8, 8}} {
+		if f.At(p[0], p[1]) != video.Pixel(0xFF0000) {
+			t.Fatalf("pixel (%d,%d) not drawn", p[0], p[1])
+		}
+	}
+	// Off-diagonal untouched.
+	if f.At(0, 15) != 0 {
+		t.Fatal("stray pixel")
+	}
+}
+
+func TestRenderGUILineAllOctants(t *testing.T) {
+	f := video.NewFrame(21, 21)
+	c := video.Pixel(0x00FF00)
+	ends := [][2]int{
+		{20, 10}, {20, 20}, {10, 20}, {0, 20},
+		{0, 10}, {0, 0}, {10, 0}, {20, 0},
+	}
+	for _, e := range ends {
+		RenderGUI([]GUICommand{
+			{Op: 1, X0: 10, Y0: 10, X1: uint32(e[0]), Y1: uint32(e[1]), Color: uint32(c)},
+		}, f)
+		if f.At(e[0], e[1]) != c {
+			t.Fatalf("endpoint (%d,%d) not reached", e[0], e[1])
+		}
+	}
+	if f.At(10, 10) != c {
+		t.Fatal("centre not drawn")
+	}
+}
+
+func TestRenderGUIRectAndCell(t *testing.T) {
+	f := video.NewFrame(32, 32)
+	RenderGUI([]GUICommand{
+		{Op: 2, X0: 4, Y0: 4, X1: 10, Y1: 8, Color: 0x0000FF},
+		{Op: 3, X0: 20, Y0: 20, Color: 0xFFFFFF},
+		{Op: 99}, // unknown: ignored
+	}, f)
+	if f.At(4, 4) != video.Pixel(0x0000FF) || f.At(10, 8) != video.Pixel(0x0000FF) {
+		t.Fatal("rect corners missing")
+	}
+	if f.At(11, 8) != 0 {
+		t.Fatal("rect overflow")
+	}
+	if f.At(20, 20) != video.Pixel(0xFFFFFF) || f.At(27, 27) != video.Pixel(0xFFFFFF) {
+		t.Fatal("text cell missing")
+	}
+	if f.At(28, 27) != 0 {
+		t.Fatal("cell overflow")
+	}
+}
+
+func TestRenderGUIRectSwappedCorners(t *testing.T) {
+	f := video.NewFrame(8, 8)
+	RenderGUI([]GUICommand{
+		{Op: 2, X0: 6, Y0: 6, X1: 2, Y1: 2, Color: 0x111111},
+	}, f)
+	if f.At(3, 3) != video.Pixel(0x111111) {
+		t.Fatal("swapped-corner rect not normalised")
+	}
+}
+
+func TestGUIDemoProgram(t *testing.T) {
+	trace := []uint32{60, 62, 58, 61, 59, 63, 60}
+	cmds, err := RunGUIDemo(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 clear + 2 crosshair lines + len(trace)-2 trace segments.
+	want := 1 + 2 + len(trace) - 2
+	if len(cmds) != want {
+		t.Fatalf("%d commands, want %d", len(cmds), want)
+	}
+	if cmds[0].Op != 2 {
+		t.Fatalf("first command op %d, want clear", cmds[0].Op)
+	}
+	// Render onto a frame: trace pixels appear at the sample heights.
+	f := video.NewFrame(320, 240)
+	RenderGUI(cmds, f)
+	if f.At(160, 120) != video.Pixel(0x00FF00) {
+		t.Fatal("crosshair centre missing")
+	}
+	if f.At(1, int(trace[1])) != video.Pixel(0xFFB000) {
+		t.Fatal("trace segment missing")
+	}
+}
+
+func TestGUIDemoEmptyTrace(t *testing.T) {
+	cmds, err := RunGUIDemo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 3 { // clear + crosshair only
+		t.Fatalf("%d commands", len(cmds))
+	}
+}

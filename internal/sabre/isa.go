@@ -1,0 +1,208 @@
+// Package sabre implements the paper's 32-bit soft-core RISC processor
+// (Section 10): instruction-set definition, a two-pass assembler, a
+// cycle-counting emulator with the Harvard memory organisation the
+// paper gives (8 KiB program store, 64 KiB data store, 32-bit buses),
+// and the memory-mapped peripheral set of Figures 6 and 7 — LEDs,
+// switches, touchscreen, GUI, the two sensor RS232 ports and the
+// twelve-register control block consumed by the affine video hardware.
+//
+// The processor has no floating-point unit; IEEE arithmetic is provided
+// by an assembly SoftFloat library (softfloat_asm.go) run on the
+// emulator, exactly as the paper runs the Berkeley SoftFloat C library
+// on the real core.
+//
+// # Instruction set
+//
+// 32-bit fixed-width words, 16 general registers (r0 hardwired to
+// zero). Encodings:
+//
+//	R: op[31:26] rd[25:22] rs1[21:18] rs2[17:14]        — ALU reg-reg
+//	I: op[31:26] rd[25:22] rs1[21:18] imm18[17:0]       — ALU/imm, loads, stores*, JALR
+//	B: op[31:26] rs1[25:22] rs2[21:18] imm18[17:0]      — branches (word offset)
+//	U: op[31:26] rd[25:22] imm16[15:0]                  — LUI
+//	J: op[31:26] rd[25:22] imm22[21:0]                  — JAL (word offset)
+//
+// *Stores reuse the I format with the value register in the rd slot.
+package sabre
+
+import "fmt"
+
+// Opcode identifies one machine operation.
+type Opcode uint8
+
+// The instruction set.
+const (
+	OpHALT Opcode = iota // stop the processor
+	// R-type ALU.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpMUL   // low 32 bits of the product
+	OpMULHU // high 32 bits of the unsigned product
+	OpSLT
+	OpSLTU
+	// I-type ALU.
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpSLTI
+	OpSLTIU
+	OpLUI // rd = imm16 << 16
+	// Memory.
+	OpLW
+	OpLB
+	OpLBU
+	OpSW
+	OpSB
+	// Control transfer.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpJAL
+	OpJALR
+	numOpcodes
+)
+
+// opInfo describes assembler-level properties of an opcode.
+type opInfo struct {
+	name string
+	kind byte // 'R', 'I', 'B', 'U', 'J', 'M' (memory), 'r' (JALR), 'H' (halt)
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpHALT:  {"halt", 'H'},
+	OpADD:   {"add", 'R'},
+	OpSUB:   {"sub", 'R'},
+	OpAND:   {"and", 'R'},
+	OpOR:    {"or", 'R'},
+	OpXOR:   {"xor", 'R'},
+	OpSLL:   {"sll", 'R'},
+	OpSRL:   {"srl", 'R'},
+	OpSRA:   {"sra", 'R'},
+	OpMUL:   {"mul", 'R'},
+	OpMULHU: {"mulhu", 'R'},
+	OpSLT:   {"slt", 'R'},
+	OpSLTU:  {"sltu", 'R'},
+	OpADDI:  {"addi", 'I'},
+	OpANDI:  {"andi", 'I'},
+	OpORI:   {"ori", 'I'},
+	OpXORI:  {"xori", 'I'},
+	OpSLLI:  {"slli", 'I'},
+	OpSRLI:  {"srli", 'I'},
+	OpSRAI:  {"srai", 'I'},
+	OpSLTI:  {"slti", 'I'},
+	OpSLTIU: {"sltiu", 'I'},
+	OpLUI:   {"lui", 'U'},
+	OpLW:    {"lw", 'M'},
+	OpLB:    {"lb", 'M'},
+	OpLBU:   {"lbu", 'M'},
+	OpSW:    {"sw", 'M'},
+	OpSB:    {"sb", 'M'},
+	OpBEQ:   {"beq", 'B'},
+	OpBNE:   {"bne", 'B'},
+	OpBLT:   {"blt", 'B'},
+	OpBGE:   {"bge", 'B'},
+	OpBLTU:  {"bltu", 'B'},
+	OpBGEU:  {"bgeu", 'B'},
+	OpJAL:   {"jal", 'J'},
+	OpJALR:  {"jalr", 'r'},
+}
+
+// Name returns the assembler mnemonic.
+func (op Opcode) Name() string {
+	if op < numOpcodes {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// Memory geometry from the paper: 8 KiB program store (2048
+// instructions) and 64 KiB data store.
+const (
+	ProgWords = 2048
+	DataBytes = 64 * 1024
+)
+
+// Immediate field limits.
+const (
+	immBits  = 18
+	immMax   = 1<<(immBits-1) - 1
+	immMin   = -(1 << (immBits - 1))
+	jImmBits = 22
+	jImmMax  = 1<<(jImmBits-1) - 1
+	jImmMin  = -(1 << (jImmBits - 1))
+)
+
+// encode helpers.
+func encR(op Opcode, rd, rs1, rs2 int) uint32 {
+	return uint32(op)<<26 | uint32(rd)<<22 | uint32(rs1)<<18 | uint32(rs2)<<14
+}
+
+func encI(op Opcode, rd, rs1 int, imm int32) uint32 {
+	return uint32(op)<<26 | uint32(rd)<<22 | uint32(rs1)<<18 | uint32(imm)&0x3FFFF
+}
+
+func encB(op Opcode, rs1, rs2 int, imm int32) uint32 {
+	return uint32(op)<<26 | uint32(rs1)<<22 | uint32(rs2)<<18 | uint32(imm)&0x3FFFF
+}
+
+func encU(op Opcode, rd int, imm16 uint32) uint32 {
+	return uint32(op)<<26 | uint32(rd)<<22 | imm16&0xFFFF
+}
+
+func encJ(op Opcode, rd int, imm int32) uint32 {
+	return uint32(op)<<26 | uint32(rd)<<22 | uint32(imm)&0x3FFFFF
+}
+
+// decode helpers.
+func decOp(w uint32) Opcode { return Opcode(w >> 26) }
+func decRD(w uint32) int    { return int(w >> 22 & 0xF) }
+func decRS1(w uint32) int   { return int(w >> 18 & 0xF) }
+func decRS2(w uint32) int   { return int(w >> 14 & 0xF) }
+func decImm18(w uint32) int32 {
+	return int32(w<<14) >> 14 // sign-extend 18 bits
+}
+func decImm16(w uint32) uint32 { return w & 0xFFFF }
+func decImm22(w uint32) int32 {
+	return int32(w<<10) >> 10 // sign-extend 22 bits
+}
+
+// Disassemble renders one instruction word as assembly text.
+func Disassemble(w uint32) string {
+	op := decOp(w)
+	if op >= numOpcodes {
+		return fmt.Sprintf(".word 0x%08x", w)
+	}
+	info := opTable[op]
+	switch info.kind {
+	case 'H':
+		return "halt"
+	case 'R':
+		return fmt.Sprintf("%s r%d, r%d, r%d", info.name, decRD(w), decRS1(w), decRS2(w))
+	case 'I':
+		return fmt.Sprintf("%s r%d, r%d, %d", info.name, decRD(w), decRS1(w), decImm18(w))
+	case 'M':
+		return fmt.Sprintf("%s r%d, %d(r%d)", info.name, decRD(w), decImm18(w), decRS1(w))
+	case 'B':
+		return fmt.Sprintf("%s r%d, r%d, %d", info.name, int(w>>22&0xF), int(w>>18&0xF), decImm18(w))
+	case 'U':
+		return fmt.Sprintf("lui r%d, 0x%x", decRD(w), decImm16(w))
+	case 'J':
+		return fmt.Sprintf("jal r%d, %d", decRD(w), decImm22(w))
+	case 'r':
+		return fmt.Sprintf("jalr r%d, r%d, %d", decRD(w), decRS1(w), decImm18(w))
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}

@@ -1,0 +1,290 @@
+package sabre
+
+import "boresight/internal/geom"
+
+// This file implements the peripherals of the paper's Figure 7, each a
+// small bank of memory-mapped registers designed to be "as smart as
+// possible, reducing the workload for the processor".
+
+// LEDs is the board LED bank: one output register, readable back.
+type LEDs struct {
+	Value uint32
+}
+
+// BusRead returns the LED state.
+func (l *LEDs) BusRead(uint32) uint32 { return l.Value }
+
+// BusWrite sets the LED state.
+func (l *LEDs) BusWrite(_ uint32, v uint32) { l.Value = v }
+
+// Switches is the board DIP-switch bank: one input register.
+type Switches struct {
+	Value uint32
+}
+
+// BusRead returns the switch state.
+func (s *Switches) BusRead(uint32) uint32 { return s.Value }
+
+// BusWrite is ignored (switches are inputs).
+func (s *Switches) BusWrite(uint32, uint32) {}
+
+// TouchScreen exposes the last stylus sample: X, Y and a pressed flag.
+//
+//	+0  X coordinate
+//	+4  Y coordinate
+//	+8  pressed (1) / released (0)
+type TouchScreen struct {
+	X, Y    uint32
+	Pressed bool
+}
+
+// BusRead returns the register at the offset.
+func (t *TouchScreen) BusRead(off uint32) uint32 {
+	switch off {
+	case 0:
+		return t.X
+	case 4:
+		return t.Y
+	case 8:
+		return b2u(t.Pressed)
+	}
+	return 0
+}
+
+// BusWrite is ignored (the touchscreen is an input device).
+func (t *TouchScreen) BusWrite(uint32, uint32) {}
+
+// GUICommand is one drawing primitive recorded by the GUI peripheral.
+type GUICommand struct {
+	Op             uint32 // 1 = line, 2 = clear, 3 = text cell
+	X0, Y0, X1, Y1 uint32
+	Color          uint32
+}
+
+// GUI is the graphical-output peripheral (SabreGuiRun): the processor
+// writes parameter registers and then a command register; the hardware
+// (here: a recorder the display side drains) executes the primitive.
+//
+//	+0   X0    +4  Y0    +8  X1    +12 Y1    +16 color
+//	+20  command strobe (write executes)
+//	+24  busy (always 0 in the model; the real block pipelines)
+type GUI struct {
+	x0, y0, x1, y1, color uint32
+	Commands              []GUICommand
+}
+
+// BusRead returns parameter or status registers.
+func (g *GUI) BusRead(off uint32) uint32 {
+	switch off {
+	case 0:
+		return g.x0
+	case 4:
+		return g.y0
+	case 8:
+		return g.x1
+	case 12:
+		return g.y1
+	case 16:
+		return g.color
+	case 24:
+		return 0 // never busy
+	}
+	return 0
+}
+
+// BusWrite latches parameters or executes a command.
+func (g *GUI) BusWrite(off uint32, v uint32) {
+	switch off {
+	case 0:
+		g.x0 = v
+	case 4:
+		g.y0 = v
+	case 8:
+		g.x1 = v
+	case 12:
+		g.y1 = v
+	case 16:
+		g.color = v
+	case 20:
+		g.Commands = append(g.Commands, GUICommand{
+			Op: v, X0: g.x0, Y0: g.y0, X1: g.x1, Y1: g.y1, Color: g.color,
+		})
+	}
+}
+
+// UART is one of the two sensor serial ports (SabreRS232DMURun /
+// SabreRS232ACCRun): receive FIFO, transmit FIFO and a status register.
+//
+//	+0  read:  pop RX byte (0 if empty)     write: push TX byte
+//	+4  read:  status — bit0 RX nonempty, bit1 TX space available
+//	+8  read:  RX fill level
+type UART struct {
+	rx []byte
+	tx []byte
+	// TXCap limits the transmit FIFO (0 = unlimited).
+	TXCap int
+}
+
+// Feed appends host-side bytes to the receive FIFO (the wire side).
+func (u *UART) Feed(data []byte) { u.rx = append(u.rx, data...) }
+
+// Drain removes and returns everything in the transmit FIFO.
+func (u *UART) Drain() []byte {
+	out := u.tx
+	u.tx = nil
+	return out
+}
+
+// BusRead pops RX data or returns status.
+func (u *UART) BusRead(off uint32) uint32 {
+	switch off {
+	case 0:
+		if len(u.rx) == 0 {
+			return 0
+		}
+		b := u.rx[0]
+		u.rx = u.rx[1:]
+		return uint32(b)
+	case 4:
+		st := uint32(0)
+		if len(u.rx) > 0 {
+			st |= 1
+		}
+		if u.TXCap == 0 || len(u.tx) < u.TXCap {
+			st |= 2
+		}
+		return st
+	case 8:
+		return uint32(len(u.rx))
+	}
+	return 0
+}
+
+// BusWrite pushes a TX byte.
+func (u *UART) BusWrite(off uint32, v uint32) {
+	if off == 0 {
+		if u.TXCap == 0 || len(u.tx) < u.TXCap {
+			u.tx = append(u.tx, byte(v))
+		}
+	}
+}
+
+// AngleScale converts radians to the S16.16 fixed-point format of the
+// control block registers.
+const AngleScale = 65536.0
+
+// Control is the twelve-register block (SabreControlRun) through which
+// the processor hands the Kalman results to the affine video hardware:
+// roll, pitch, yaw and their 3-sigma confidences in S16.16 fixed point,
+// translation corrections in pixels, plus status/command flags.
+//
+//	+0  roll      +4  pitch     +8  yaw        (S16.16 rad)
+//	+12 sigRoll   +16 sigPitch  +20 sigYaw     (S16.16 rad, 3σ)
+//	+24 tx        +28 ty        (pixels, two's complement)
+//	+32 thetaIdx  (sin/cos LUT index for the pipeline)
+//	+36 valid     (processor sets 1 when a new solution is loaded)
+//	+40 seq       (increments per solution)
+type Control struct {
+	regs [12]uint32
+}
+
+// Register offsets within the control block.
+const (
+	CtlRoll     = 0
+	CtlPitch    = 4
+	CtlYaw      = 8
+	CtlSigRoll  = 12
+	CtlSigPitch = 16
+	CtlSigYaw   = 20
+	CtlTX       = 24
+	CtlTY       = 28
+	CtlThetaIdx = 32
+	CtlValid    = 36
+	CtlSeq      = 40
+)
+
+// BusRead returns a control register.
+func (c *Control) BusRead(off uint32) uint32 {
+	if int(off/4) < len(c.regs) {
+		return c.regs[off/4]
+	}
+	return 0
+}
+
+// BusWrite stores a control register; writing Valid=1 bumps the
+// sequence counter, signalling the video side.
+func (c *Control) BusWrite(off uint32, v uint32) {
+	if int(off/4) >= len(c.regs) {
+		return
+	}
+	c.regs[off/4] = v
+	if off == CtlValid && v != 0 {
+		c.regs[CtlSeq/4]++
+	}
+}
+
+// Angles decodes the roll/pitch/yaw registers back to radians —
+// the hardware-facing view of the Kalman solution.
+func (c *Control) Angles() geom.Euler {
+	return geom.Euler{
+		Roll:  float64(int32(c.regs[CtlRoll/4])) / AngleScale,
+		Pitch: float64(int32(c.regs[CtlPitch/4])) / AngleScale,
+		Yaw:   float64(int32(c.regs[CtlYaw/4])) / AngleScale,
+	}
+}
+
+// Seq returns the solution sequence counter.
+func (c *Control) Seq() uint32 { return c.regs[CtlSeq/4] }
+
+// Valid reports whether a solution has been marked valid.
+func (c *Control) Valid() bool { return c.regs[CtlValid/4] != 0 }
+
+// ThetaIdx returns the LUT index register.
+func (c *Control) ThetaIdx() uint32 { return c.regs[CtlThetaIdx/4] }
+
+// TXTY returns the translation registers as signed pixel counts.
+func (c *Control) TXTY() (int32, int32) {
+	return int32(c.regs[CtlTX/4]), int32(c.regs[CtlTY/4])
+}
+
+// Counter is a free-running cycle counter peripheral for on-core
+// profiling: reading offset 0 returns the CPU cycle count at the time
+// of the read.
+type Counter struct {
+	CPU *CPU
+}
+
+// BusRead returns the current cycle count (low word at +0, high at +4).
+func (ct *Counter) BusRead(off uint32) uint32 {
+	switch off {
+	case 0:
+		return uint32(ct.CPU.Cycles)
+	case 4:
+		return uint32(ct.CPU.Cycles >> 32)
+	}
+	return 0
+}
+
+// BusWrite is ignored.
+func (ct *Counter) BusWrite(uint32, uint32) {}
+
+// Debug is an emulator-only console: bytes written to +0 accumulate in
+// Out, words written to +4 are recorded in Words — the assembly test
+// programs report results through it.
+type Debug struct {
+	Out   []byte
+	Words []uint32
+}
+
+// BusRead returns 0.
+func (d *Debug) BusRead(uint32) uint32 { return 0 }
+
+// BusWrite records console output.
+func (d *Debug) BusWrite(off uint32, v uint32) {
+	switch off {
+	case 0:
+		d.Out = append(d.Out, byte(v))
+	case 4:
+		d.Words = append(d.Words, v)
+	}
+}

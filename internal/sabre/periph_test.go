@@ -1,0 +1,228 @@
+package sabre
+
+import "testing"
+
+// Directed coverage of the peripheral register maps that the program
+// tests exercise only partially.
+
+func TestOpcodeName(t *testing.T) {
+	if OpADD.Name() != "add" || OpHALT.Name() != "halt" {
+		t.Fatal("Name broken")
+	}
+	if got := Opcode(200).Name(); got != "op200" {
+		t.Fatalf("unknown opcode name %q", got)
+	}
+}
+
+func TestLEDsReadback(t *testing.T) {
+	l := &LEDs{}
+	l.BusWrite(0, 0xAB)
+	if l.BusRead(0) != 0xAB {
+		t.Fatal("LED readback failed")
+	}
+}
+
+func TestSwitchesReadOnly(t *testing.T) {
+	s := &Switches{Value: 7}
+	s.BusWrite(0, 99) // ignored
+	if s.BusRead(0) != 7 {
+		t.Fatal("switches not read-only")
+	}
+}
+
+func TestTouchScreenRegisterMap(t *testing.T) {
+	ts := &TouchScreen{X: 3, Y: 4, Pressed: true}
+	ts.BusWrite(0, 1) // ignored
+	if ts.BusRead(0) != 3 || ts.BusRead(4) != 4 || ts.BusRead(8) != 1 {
+		t.Fatal("touchscreen map wrong")
+	}
+	if ts.BusRead(12) != 0 {
+		t.Fatal("unknown offset not zero")
+	}
+	ts.Pressed = false
+	if ts.BusRead(8) != 0 {
+		t.Fatal("released flag wrong")
+	}
+}
+
+func TestGUIRegisterReadback(t *testing.T) {
+	g := &GUI{}
+	g.BusWrite(0, 10)
+	g.BusWrite(4, 20)
+	g.BusWrite(8, 30)
+	g.BusWrite(12, 40)
+	g.BusWrite(16, 50)
+	if g.BusRead(0) != 10 || g.BusRead(4) != 20 || g.BusRead(8) != 30 ||
+		g.BusRead(12) != 40 || g.BusRead(16) != 50 {
+		t.Fatal("GUI parameter readback wrong")
+	}
+	if g.BusRead(24) != 0 {
+		t.Fatal("GUI busy should be 0")
+	}
+	if g.BusRead(99) != 0 {
+		t.Fatal("unknown offset not zero")
+	}
+	g.BusWrite(99, 1) // ignored
+	if len(g.Commands) != 0 {
+		t.Fatal("stray command recorded")
+	}
+}
+
+func TestUARTStatusAndCap(t *testing.T) {
+	u := &UART{TXCap: 2}
+	if u.BusRead(4)&2 == 0 {
+		t.Fatal("TX space flag missing when empty")
+	}
+	u.BusWrite(0, 'a')
+	u.BusWrite(0, 'b')
+	if u.BusRead(4)&2 != 0 {
+		t.Fatal("TX space flag set when full")
+	}
+	u.BusWrite(0, 'c') // dropped at cap
+	if got := string(u.Drain()); got != "ab" {
+		t.Fatalf("tx = %q", got)
+	}
+	// Empty RX pops zero.
+	if u.BusRead(0) != 0 {
+		t.Fatal("empty RX pop nonzero")
+	}
+	if u.BusRead(99) != 0 {
+		t.Fatal("unknown offset not zero")
+	}
+	u.BusWrite(99, 1) // ignored
+}
+
+func TestControlRegisterBounds(t *testing.T) {
+	c := &Control{}
+	c.BusWrite(400, 1) // out of range: ignored
+	if c.BusRead(400) != 0 {
+		t.Fatal("out-of-range read nonzero")
+	}
+	c.BusWrite(CtlSigRoll, 123)
+	if c.BusRead(CtlSigRoll) != 123 {
+		t.Fatal("sigma register readback failed")
+	}
+}
+
+func TestCounterHighWord(t *testing.T) {
+	cpu := New()
+	ct := &Counter{CPU: cpu}
+	cpu.Cycles = 0x1_0000_0002
+	if ct.BusRead(0) != 2 || ct.BusRead(4) != 1 {
+		t.Fatalf("counter words %x %x", ct.BusRead(0), ct.BusRead(4))
+	}
+	if ct.BusRead(8) != 0 {
+		t.Fatal("unknown offset not zero")
+	}
+	ct.BusWrite(0, 9) // ignored
+}
+
+func TestDebugPeripheralReadsZero(t *testing.T) {
+	d := &Debug{}
+	if d.BusRead(0) != 0 {
+		t.Fatal("debug read nonzero")
+	}
+	d.BusWrite(8, 1) // unknown offset: ignored
+	if len(d.Out) != 0 || len(d.Words) != 0 {
+		t.Fatal("stray debug output")
+	}
+}
+
+func TestMustAssemblePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("bogus r1")
+}
+
+func TestHostAccessorsPanicOnBadAddress(t *testing.T) {
+	c := New()
+	for _, fn := range []func(){
+		func() { c.LoadWord(0x90000) },     // unmapped
+		func() { c.StoreWord(0x90000, 1) }, // unmapped
+		func() { c.LoadWord(2) },           // unaligned
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad host access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIsIdentVariants(t *testing.T) {
+	cases := map[string]bool{
+		"label":   true,
+		"_x":      true,
+		"a.b":     true,
+		"x9":      true,
+		"9x":      false,
+		"":        false,
+		"a-b":     false,
+		"a b":     false,
+		"A_Z.9":   true,
+		"tab\tme": false,
+	}
+	for s, want := range cases {
+		if got := isIdent(s); got != want {
+			t.Errorf("isIdent(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestAssembleMorePseudoErrors(t *testing.T) {
+	cases := []string{
+		"mv r1",               // missing operand
+		"neg r1",              // missing operand
+		"not r99, r1",         // bad register
+		"subi r1, r2, 999999", // out of range after negate
+		"j nowhere",
+		"call nowhere",
+		"beqz r1, nowhere",
+		"bgt r1, r2, nowhere",
+		"la r1, nowhere",
+		"jalr r1, r99",
+		".word",
+		"sw r1, 999999(r2)", // offset out of range
+		"li r1",             // missing immediate
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestAssembleMorePseudoForms(t *testing.T) {
+	c := run(t, `
+		li   r1, 6
+		neg  r2, r1        ; -6
+		not  r3, r1        ; ^6
+		subi r4, r1, 2     ; 4
+		mv   r5, r4
+		beqz r0, was_zero
+		halt
+	was_zero:
+		bnez r1, not_zero
+		halt
+	not_zero:
+		bgtu r1, r0, upper
+		halt
+	upper:
+		bleu r1, r1, done
+		halt
+	done:
+		ble  r4, r1, really_done
+		halt
+	really_done:
+		halt
+	`)
+	if int32(c.R[2]) != -6 || c.R[3] != ^uint32(6) || c.R[4] != 4 || c.R[5] != 4 {
+		t.Fatalf("pseudo results %d %x %d %d", int32(c.R[2]), c.R[3], c.R[4], c.R[5])
+	}
+}

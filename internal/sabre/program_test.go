@@ -1,0 +1,279 @@
+package sabre
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSabreKalmanMatchesHostFloat32(t *testing.T) {
+	// The emulated core's filter must match the same arithmetic done
+	// with float32 on the host, bit for bit.
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	z := make([]float32, n)
+	truth := float32(3.25)
+	for i := range z {
+		z[i] = truth + float32(rng.NormFloat64())*0.5
+	}
+	q, r, p0, x0 := float32(1e-6), float32(0.25), float32(100), float32(0)
+
+	res, err := RunKalman(q, r, p0, x0, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Host reference with identical operation order in float32.
+	x, p := x0, p0
+	for i, zi := range z {
+		k := p / (p + r)
+		x = x + k*(zi-x)
+		p = (1-k)*p + q
+		if res.Estimates[i] != x {
+			t.Fatalf("step %d: sabre %08x (%g) vs host %08x (%g)",
+				i, math.Float32bits(res.Estimates[i]), res.Estimates[i],
+				math.Float32bits(x), x)
+		}
+	}
+	if res.FinalP != p {
+		t.Fatalf("final P: sabre %g vs host %g", res.FinalP, p)
+	}
+	// Converged near the truth.
+	if math.Abs(float64(res.Estimates[n-1]-truth)) > 0.2 {
+		t.Fatalf("estimate %g, truth %g", res.Estimates[n-1], truth)
+	}
+	t.Logf("Sabre Kalman: %.0f cycles/update (%d instructions total)",
+		res.CyclesPerUpdate, res.Instructions)
+	// ~15 float ops per update at ~100-300 cycles each.
+	if res.CyclesPerUpdate < 500 || res.CyclesPerUpdate > 6000 {
+		t.Fatalf("cycles/update %v implausible", res.CyclesPerUpdate)
+	}
+}
+
+func TestSabreKalmanValidation(t *testing.T) {
+	if _, err := RunKalman(0, 1, 1, 0, make([]float32, 1<<20)); err == nil {
+		t.Fatal("oversized measurement set accepted")
+	}
+	res, err := RunKalman(0, 1, 1, 0, nil)
+	if err != nil || len(res.Estimates) != 0 {
+		t.Fatalf("empty run: %v", err)
+	}
+}
+
+// feedAndRun lets the control program digest whatever is queued, then
+// returns (the program never halts on its own; the cycle budget is the
+// scheduler).
+func feedAndRun(t *testing.T, c *CPU, budget uint64) {
+	t.Helper()
+	_, err := c.Run(budget)
+	if err != nil && !errors.Is(err, ErrCycleLimit) {
+		t.Fatal(err)
+	}
+}
+
+func TestControlProgramParsesACC(t *testing.T) {
+	c, _, acc, _, _, err := ControlCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build an ACC packet: header 0xC5, t1x=0x1234, t1y=0x0BCD,
+	// t2=0x1000, checksum = two's complement of payload sum.
+	payload := []byte{0x12, 0x34, 0x0B, 0xCD, 0x10, 0x00}
+	var sum byte
+	for _, b := range payload {
+		sum += b
+	}
+	pkt := append(append([]byte{0xC5}, payload...), byte(-sum))
+	acc.Feed(pkt)
+	feedAndRun(t, c, 20000)
+	if got := c.LoadWord(ctlACCT1X); got != 0x1234 {
+		t.Fatalf("t1x = %#x", got)
+	}
+	if got := c.LoadWord(ctlACCT1Y); got != 0x0BCD {
+		t.Fatalf("t1y = %#x", got)
+	}
+	if got := c.LoadWord(ctlACCT2); got != 0x1000 {
+		t.Fatalf("t2 = %#x", got)
+	}
+	if got := c.LoadWord(ctlACCCount); got != 1 {
+		t.Fatalf("packet count = %d", got)
+	}
+}
+
+func TestControlProgramRejectsBadACCChecksum(t *testing.T) {
+	c, _, acc, _, _, err := ControlCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := []byte{0xC5, 1, 2, 3, 4, 5, 6, 0x99} // wrong checksum
+	acc.Feed(pkt)
+	feedAndRun(t, c, 20000)
+	if got := c.LoadWord(ctlACCCount); got != 0 {
+		t.Fatalf("bad packet accepted, count = %d", got)
+	}
+}
+
+func TestControlProgramParsesDMUBridgeFrame(t *testing.T) {
+	c, dmu, _, _, _, err := ControlCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bridge packet for an accel CAN frame (id 0x101): counts
+	// 1000, -2000, 3000 big-endian int16 + seq + reserved.
+	counts := []int16{1000, -2000, 3000}
+	data := make([]byte, 0, 8)
+	for _, v := range counts {
+		data = append(data, byte(uint16(v)>>8), byte(uint16(v)))
+	}
+	data = append(data, 7, 0) // seq, reserved
+	body := append([]byte{0x01, 0x01, 8}, data...)
+	var sum byte
+	for _, b := range body {
+		sum += b
+	}
+	pkt := append(append([]byte{0xAA, 0x55}, body...), byte(-sum))
+	dmu.Feed(pkt)
+	feedAndRun(t, c, 40000)
+	if got := int32(c.LoadWord(ctlDMUAX)); got != 1000 {
+		t.Fatalf("ax = %d", got)
+	}
+	if got := int32(c.LoadWord(ctlDMUAY)); got != -2000 {
+		t.Fatalf("ay = %d", got)
+	}
+	if got := int32(c.LoadWord(ctlDMUAZ)); got != 3000 {
+		t.Fatalf("az = %d", got)
+	}
+	if got := c.LoadWord(ctlDMUCount); got != 1 {
+		t.Fatalf("frame count = %d", got)
+	}
+}
+
+func TestControlProgramIgnoresRatesFrames(t *testing.T) {
+	c, dmu, _, _, _, err := ControlCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append([]byte{0x01, 0x00, 8}, make([]byte, 8)...) // id 0x100
+	var sum byte
+	for _, b := range body {
+		sum += b
+	}
+	pkt := append(append([]byte{0xAA, 0x55}, body...), byte(-sum))
+	dmu.Feed(pkt)
+	feedAndRun(t, c, 40000)
+	if got := c.LoadWord(ctlDMUCount); got != 0 {
+		t.Fatalf("rates frame counted as accel: %d", got)
+	}
+}
+
+func TestControlProgramLoadsSolution(t *testing.T) {
+	c, _, _, ctl, _, err := ControlCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deposit a solution the way the fusion task would.
+	c.StoreWord(ctlSolRoll, uint32(int32(0.25*AngleScale))) // 0.25 rad
+	c.StoreWord(ctlSolIdx, 42)
+	c.StoreWord(ctlSolTX, uint32(0xFFFFFFFD)) // -3
+	c.StoreWord(ctlSolTY, 5)
+	c.StoreWord(ctlSolNew, 1)
+	feedAndRun(t, c, 20000)
+	if !ctl.Valid() || ctl.Seq() != 1 {
+		t.Fatalf("solution not loaded: valid=%v seq=%d", ctl.Valid(), ctl.Seq())
+	}
+	if got := ctl.Angles().Roll; math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("roll = %v", got)
+	}
+	if ctl.ThetaIdx() != 42 {
+		t.Fatalf("thetaIdx = %d", ctl.ThetaIdx())
+	}
+	tx, ty := ctl.TXTY()
+	if tx != -3 || ty != 5 {
+		t.Fatalf("tx,ty = %d,%d", tx, ty)
+	}
+	// Pending flag cleared; a second pass must not bump seq again.
+	if c.LoadWord(ctlSolNew) != 0 {
+		t.Fatal("pending flag not cleared")
+	}
+	feedAndRun(t, c, 20000)
+	if ctl.Seq() != 1 {
+		t.Fatalf("seq bumped without new solution: %d", ctl.Seq())
+	}
+}
+
+func TestControlProgramStatusLEDs(t *testing.T) {
+	c, dmu, acc, _, leds, err := ControlCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two ACC packets, one DMU accel frame.
+	payload := []byte{0, 1, 0, 2, 0x10, 0}
+	var sum byte
+	for _, b := range payload {
+		sum += b
+	}
+	pkt := append(append([]byte{0xC5}, payload...), byte(-sum))
+	acc.Feed(pkt)
+	acc.Feed(pkt)
+	body := append([]byte{0x01, 0x01, 8}, make([]byte, 8)...)
+	sum = 0
+	for _, b := range body {
+		sum += b
+	}
+	dmu.Feed(append(append([]byte{0xAA, 0x55}, body...), byte(-sum)))
+	feedAndRun(t, c, 60000)
+	// LEDs show accCount | dmuCount<<8.
+	if leds.Value != (2 | 1<<8) {
+		t.Fatalf("LEDs = %#x", leds.Value)
+	}
+}
+
+func TestControlProgramHaltFlag(t *testing.T) {
+	c, _, _, _, _, err := ControlCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StoreWord(ctlHaltFlag, 1)
+	if _, err := c.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted {
+		t.Fatal("halt flag ignored")
+	}
+}
+
+func TestControlProgramResyncsOnGarbage(t *testing.T) {
+	c, _, acc, _, _, err := ControlCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0, 9, 0, 8, 0x10, 0}
+	var sum byte
+	for _, b := range payload {
+		sum += b
+	}
+	good := append(append([]byte{0xC5}, payload...), byte(-sum))
+	acc.Feed([]byte{0x12, 0x99, 0x00}) // garbage (no 0xC5)
+	acc.Feed(good)
+	feedAndRun(t, c, 40000)
+	if got := c.LoadWord(ctlACCCount); got != 1 {
+		t.Fatalf("packet after garbage not recovered: count = %d", got)
+	}
+	if got := c.LoadWord(ctlACCT1X); got != 9 {
+		t.Fatalf("t1x = %d", got)
+	}
+}
+
+func BenchmarkSabreKalmanUpdate(b *testing.B) {
+	z := make([]float32, 100)
+	for i := range z {
+		z[i] = 1.5
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKalman(1e-6, 0.25, 100, 0, z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

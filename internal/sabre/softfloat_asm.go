@@ -1,0 +1,974 @@
+package sabre
+
+// SoftFloatLib is the IEEE-754 binary32 arithmetic library in Sabre
+// assembly — the reproduction of the paper's use of the Berkeley
+// SoftFloat library on the FPU-less core (Section 10): "we therefore
+// emulated IEEE floating point operations using the Softfloat library".
+//
+// The routines implement round-to-nearest-even (the IEEE default, and
+// the only mode the filter needs) and follow the same algorithms as
+// package softfloat, so results are bit-identical to the host library
+// and to native hardware; the test suite checks this exhaustively.
+//
+// Calling convention: arguments in a0/a1, result in a0; a0–a3 and
+// t0–t4 are caller-saved scratch; s0–s2, fp and sp are callee-saved;
+// ra holds the return address. The library needs a stack — callers
+// must point sp at the top of a free data region before the first call.
+//
+// Entry points:
+//
+//	f32_add, f32_sub, f32_mul, f32_div   (a0 op a1) -> a0
+//	f32_sqrt                              square root -> a0
+//	f32_from_i32                          int32 -> f32
+//	f32_to_i32                            f32 -> int32, RNE
+//	f32_eq, f32_lt, f32_le                comparisons -> 0/1
+//	f32_neg                               sign flip
+const SoftFloatLib = `
+; ---------------------------------------------------------------
+; sf_shr_jam: a0 = value, a1 = shift count -> a0
+; Right shift with the discarded bits OR-reduced into bit 0.
+; Clobbers t0, t1. Preserves a2, a3, t2-t4, s0-s2.
+; ---------------------------------------------------------------
+sf_shr_jam:
+	beqz a1, sj_ret
+	sltiu t0, a1, 32
+	beqz t0, sj_big
+	srl t1, a0, a1
+	li  t0, 32
+	sub t0, t0, a1
+	sll t0, a0, t0          ; the bits shifted out
+	beqz t0, sj_clean
+	ori t1, t1, 1
+sj_clean:
+	mv a0, t1
+sj_ret:
+	ret
+sj_big:
+	beqz a0, sj_ret         ; 0 stays 0
+	li a0, 1
+	ret
+
+; ---------------------------------------------------------------
+; sf_clz: a0 -> a0 = count of leading zero bits (32 for zero).
+; Clobbers t0, t1.
+; ---------------------------------------------------------------
+sf_clz:
+	beqz a0, cz_zero
+	li t0, 0
+	li t1, 0x10000
+	bgeu a0, t1, cz_8
+	addi t0, t0, 16
+	slli a0, a0, 16
+cz_8:
+	li t1, 0x1000000
+	bgeu a0, t1, cz_4
+	addi t0, t0, 8
+	slli a0, a0, 8
+cz_4:
+	li t1, 0x10000000
+	bgeu a0, t1, cz_2
+	addi t0, t0, 4
+	slli a0, a0, 4
+cz_2:
+	li t1, 0x40000000
+	bgeu a0, t1, cz_1
+	addi t0, t0, 2
+	slli a0, a0, 2
+cz_1:
+	blt a0, zero, cz_done   ; top bit reached
+	addi t0, t0, 1
+cz_done:
+	mv a0, t0
+	ret
+cz_zero:
+	li a0, 32
+	ret
+
+; ---------------------------------------------------------------
+; sf_propnan: a0 = a, a1 = b -> a0 = quieted NaN result.
+; Clobbers t0-t3.
+; ---------------------------------------------------------------
+sf_propnan:
+	li t0, 0x7FFFFF
+	and t1, a0, t0
+	srli t2, a0, 23
+	andi t2, t2, 0xFF
+	li t3, 0xFF
+	bne t2, t3, pn_tryb
+	beqz t1, pn_tryb
+	li t0, 0x400000
+	or a0, a0, t0
+	ret
+pn_tryb:
+	li t0, 0x7FFFFF
+	and t1, a1, t0
+	srli t2, a1, 23
+	andi t2, t2, 0xFF
+	li t3, 0xFF
+	bne t2, t3, pn_default
+	beqz t1, pn_default
+	li t0, 0x400000
+	or a0, a1, t0
+	ret
+pn_default:
+	li a0, 0x7FC00000
+	ret
+
+; ---------------------------------------------------------------
+; sf_roundpack: a0 = sign (0/1), a1 = zExp, a2 = zSig -> a0 = f32.
+; zSig carries the leading 1 at bit 30 with 7 rounding bits below;
+; round to nearest-even and pack (exponent one less than true, the
+; leading bit carries in).
+; ---------------------------------------------------------------
+sf_roundpack:
+	subi sp, sp, 16
+	sw ra, 0(sp)
+	sw s0, 4(sp)
+	sw s1, 8(sp)
+	sw s2, 12(sp)
+	mv s0, a0               ; sign
+	mv s1, a1               ; zExp
+	mv s2, a2               ; zSig
+	li t0, 0xFD
+	bltu s1, t0, rp_round   ; common case: exponent in range
+	blt t0, s1, rp_overflow ; zExp > 0xFD (signed)
+	bne s1, t0, rp_subnorm  ; unsigned>=0xFD but signed<0xFD -> negative
+	; zExp == 0xFD: overflow only if rounding carries out of bit 30.
+	addi t1, s2, 0x40
+	blt t1, zero, rp_overflow
+	j rp_round
+rp_subnorm:
+	; zExp < 0: shift the significand down with jamming.
+	mv a0, s2
+	sub a1, zero, s1
+	call sf_shr_jam
+	mv s2, a0
+	li s1, 0
+rp_round:
+	andi t0, s2, 0x7F       ; roundBits
+	addi s2, s2, 0x40
+	srli s2, s2, 7
+	li t1, 0x40
+	bne t0, t1, rp_pack
+	li t2, -2
+	and s2, s2, t2          ; tie: clear LSB (nearest even)
+rp_pack:
+	bnez s2, rp_pack2
+	li s1, 0
+rp_pack2:
+	slli t0, s0, 31
+	slli t1, s1, 23
+	add a0, t0, t1
+	add a0, a0, s2
+	j rp_ret
+rp_overflow:
+	slli a0, s0, 31
+	li t0, 0x7F800000
+	or a0, a0, t0
+rp_ret:
+	lw ra, 0(sp)
+	lw s0, 4(sp)
+	lw s1, 8(sp)
+	lw s2, 12(sp)
+	addi sp, sp, 16
+	ret
+
+; ---------------------------------------------------------------
+; sf_normroundpack: like sf_roundpack but first normalises zSig
+; (leading 1 anywhere at or below bit 30).
+; ---------------------------------------------------------------
+sf_normroundpack:
+	subi sp, sp, 12
+	sw ra, 0(sp)
+	sw s0, 4(sp)
+	sw s1, 8(sp)
+	mv s0, a0               ; sign
+	mv s1, a1               ; zExp
+	mv a0, a2
+	call sf_clz             ; preserves a2
+	addi t2, a0, -1         ; shift
+	sub a1, s1, t2
+	sll a2, a2, t2
+	mv a0, s0
+	lw ra, 0(sp)
+	lw s0, 4(sp)
+	lw s1, 8(sp)
+	addi sp, sp, 12
+	j sf_roundpack          ; tail call
+
+; ---------------------------------------------------------------
+; f32_add / f32_sub: dispatch on the operand signs.
+; ---------------------------------------------------------------
+f32_add:
+	srli t0, a0, 31
+	srli t1, a1, 31
+	mv a2, t0
+	bne t0, t1, f32_subsigs
+	j f32_addsigs
+f32_sub:
+	srli t0, a0, 31
+	srli t1, a1, 31
+	mv a2, t0
+	bne t0, t1, f32_addsigs
+	j f32_subsigs
+
+f32_neg:
+	li t0, 0x80000000
+	xor a0, a0, t0
+	ret
+
+; ---------------------------------------------------------------
+; f32_sqrt: square root, round to nearest-even. The significand root
+; is computed by a restoring bit-pair square root over the 64-bit
+; operand sig<<37 (two-word remainder arithmetic — the core is
+; 32-bit), exactly mirroring the host library's integer algorithm.
+; ---------------------------------------------------------------
+f32_sqrt:
+	subi sp, sp, 20
+	sw ra, 0(sp)
+	sw s0, 4(sp)
+	sw s1, 8(sp)
+	sw s2, 12(sp)
+	sw fp, 16(sp)
+	li t0, 0x7FFFFF
+	and t1, a0, t0          ; frac
+	srli t2, a0, 23
+	andi t2, t2, 0xFF       ; exp
+	srli t3, a0, 31         ; sign
+	li t0, 0xFF
+	bne t2, t0, sq_not_special
+	bnez t1, sq_propnan     ; NaN in
+	bnez t3, sq_invalid     ; -inf
+	j sq_ret                ; +inf: return a unchanged
+sq_not_special:
+	beqz t3, sq_nonneg
+	or t0, t2, t1
+	beqz t0, sq_ret         ; -0 returns -0
+sq_invalid:
+	li a0, 0x7FC00000       ; sqrt of a negative: default NaN
+	j sq_ret
+sq_propnan:
+	mv a1, a0
+	call sf_propnan
+	j sq_ret
+sq_nonneg:
+	bnez t2, sq_normal
+	beqz t1, sq_zero        ; +0 returns +0
+	; normalise a subnormal: shift = clz(frac) - 8, exp = 1 - shift,
+	; frac <<= shift (leading 1 lands on bit 23; the implicit-bit OR in
+	; sq_normal is then a no-op, as in the host library).
+	mv a2, t1               ; frac survives in a2 (clz uses a0, t0, t1)
+	mv a0, t1
+	call sf_clz
+	addi t0, a0, -8         ; shift
+	li t2, 1
+	sub t2, t2, t0          ; exp = 1 - shift
+	sll t1, a2, t0          ; frac <<= shift
+	j sq_normal
+sq_zero:
+	li a0, 0
+	j sq_ret
+sq_normal:
+	li t0, 0x800000
+	or t1, t1, t0           ; sig with implicit bit
+	; zExp = ((exp - 127) >> 1) + 0x7E, arithmetic shift
+	addi t0, t2, -127
+	srai t4, t0, 1
+	addi t4, t4, 0x7E       ; zExp in t4
+	andi t0, t0, 1
+	beqz t0, sq_even
+	slli t1, t1, 1          ; odd exponent absorbs one doubling
+sq_even:
+	; operand = sig << 37: hi = sig << 5, lo = 0
+	slli s0, t1, 5          ; hi
+	li s1, 0                ; lo
+	li s2, 0                ; root
+	li t3, 0                ; remHi
+	li a3, 0                ; remLo
+	li fp, 32               ; iterations
+sq_loop:
+	; bring in the top two operand bits
+	srli t0, s0, 30         ; b
+	slli s0, s0, 2
+	srli t1, s1, 30
+	or s0, s0, t1
+	slli s1, s1, 2
+	; rem = rem<<2 | b
+	slli t3, t3, 2
+	srli t1, a3, 30
+	or t3, t3, t1
+	slli a3, a3, 2
+	or a3, a3, t0
+	; trial = (root<<2) | 1 as (t1:t2)
+	srli t1, s2, 30         ; trialHi
+	slli t2, s2, 2
+	ori t2, t2, 1           ; trialLo
+	slli s2, s2, 1
+	; if rem >= trial: rem -= trial; root |= 1
+	bltu t3, t1, sq_next    ; remHi < trialHi
+	bne t3, t1, sq_sub      ; remHi > trialHi
+	bltu a3, t2, sq_next    ; equal high words: compare low
+sq_sub:
+	sltu t0, a3, t2         ; borrow
+	sub a3, a3, t2
+	sub t3, t3, t1
+	sub t3, t3, t0
+	ori s2, s2, 1
+sq_next:
+	addi fp, fp, -1
+	bnez fp, sq_loop
+	; sticky: any remainder sets bit 0
+	or t0, t3, a3
+	beqz t0, sq_pack
+	ori s2, s2, 1
+sq_pack:
+	li a0, 0                ; sign
+	mv a1, t4               ; zExp
+	mv a2, s2               ; root (leading 1 at bit 30)
+	call sf_roundpack
+sq_ret:
+	lw ra, 0(sp)
+	lw s0, 4(sp)
+	lw s1, 8(sp)
+	lw s2, 12(sp)
+	lw fp, 16(sp)
+	addi sp, sp, 20
+	ret
+
+; ---------------------------------------------------------------
+; f32_addsigs: a0 = a, a1 = b, a2 = zSign — |a| + |b|.
+; ---------------------------------------------------------------
+f32_addsigs:
+	subi sp, sp, 16
+	sw ra, 0(sp)
+	sw s0, 4(sp)
+	sw s1, 8(sp)
+	sw s2, 12(sp)
+	li t0, 0x7FFFFF
+	and s0, a0, t0          ; aSig
+	and s1, a1, t0          ; bSig
+	slli s0, s0, 6
+	slli s1, s1, 6
+	srli t2, a0, 23
+	andi t2, t2, 0xFF       ; aExp
+	srli t3, a1, 23
+	andi t3, t3, 0xFF       ; bExp
+	sub t4, t2, t3          ; expDiff
+	beqz t4, as_equal
+	blt zero, t4, as_abig
+	; --- b has the larger exponent ---
+	li t0, 0xFF
+	bne t3, t0, as_b_fin
+	bnez s1, as_propnan
+	slli a0, a2, 31         ; b infinite: return inf with zSign
+	li t0, 0x7F800000
+	or a0, a0, t0
+	j as_ret
+as_b_fin:
+	bnez t2, as_a_impl
+	addi t4, t4, 1          ; a subnormal: one less alignment shift
+	j as_a_shift
+as_a_impl:
+	li t0, 0x20000000
+	or s0, s0, t0
+as_a_shift:
+	mv a0, s0
+	sub a1, zero, t4
+	mv s2, t3               ; zExp = bExp
+	call sf_shr_jam
+	mv s0, a0
+	j as_combine
+as_abig:
+	; --- a has the larger exponent ---
+	li t0, 0xFF
+	bne t2, t0, as_a_fin
+	bnez s0, as_propnan
+	j as_ret                ; a infinite: return a (a0 untouched)
+as_a_fin:
+	bnez t3, as_b_impl
+	addi t4, t4, -1
+	j as_b_shift
+as_b_impl:
+	li t0, 0x20000000
+	or s1, s1, t0
+as_b_shift:
+	mv a0, s1
+	mv a1, t4
+	mv s2, t2               ; zExp = aExp
+	call sf_shr_jam
+	mv s1, a0
+as_combine:
+	; The larger operand's implicit bit is added here; OR equals ADD
+	; because the shifted significand's bit 29 is clear.
+	li t0, 0x20000000
+	or s0, s0, t0
+	add t1, s0, s1          ; aSig + bSig
+	slli t0, t1, 1
+	addi s2, s2, -1
+	bge t0, zero, as_rp     ; no carry past bit 30: keep shifted form
+	mv t0, t1
+	addi s2, s2, 1
+as_rp:
+	mv a0, a2
+	mv a1, s2
+	mv a2, t0
+	call sf_roundpack
+	j as_ret
+as_equal:
+	li t0, 0xFF
+	bne t2, t0, as_eq_fin
+	or t1, s0, s1
+	bnez t1, as_propnan
+	j as_ret                ; inf + inf (same sign): return a
+as_eq_fin:
+	bnez t2, as_eq_norm
+	; both subnormal or zero: sum cannot carry, pack directly
+	add t0, s0, s1
+	srli t0, t0, 6
+	slli a0, a2, 31
+	add a0, a0, t0
+	j as_ret
+as_eq_norm:
+	add t0, s0, s1
+	li t1, 0x40000000       ; two implicit bits
+	add t0, t0, t1
+	mv a0, a2
+	mv a1, t2
+	mv a2, t0
+	call sf_roundpack
+	j as_ret
+as_propnan:
+	call sf_propnan
+as_ret:
+	lw ra, 0(sp)
+	lw s0, 4(sp)
+	lw s1, 8(sp)
+	lw s2, 12(sp)
+	addi sp, sp, 16
+	ret
+
+; ---------------------------------------------------------------
+; f32_subsigs: a0 = a, a1 = b, a2 = zSign — |a| - |b|.
+; ---------------------------------------------------------------
+f32_subsigs:
+	subi sp, sp, 16
+	sw ra, 0(sp)
+	sw s0, 4(sp)
+	sw s1, 8(sp)
+	sw s2, 12(sp)
+	li t0, 0x7FFFFF
+	and s0, a0, t0
+	and s1, a1, t0
+	slli s0, s0, 7
+	slli s1, s1, 7
+	srli t2, a0, 23
+	andi t2, t2, 0xFF
+	srli t3, a1, 23
+	andi t3, t3, 0xFF
+	sub t4, t2, t3
+	beqz t4, ss_equal
+	blt zero, t4, ss_abig
+	; --- b bigger ---
+	li t0, 0xFF
+	bne t3, t0, ss_b_fin
+	bnez s1, ss_propnan
+	xori a2, a2, 1          ; result takes b's (flipped) sign
+	slli a0, a2, 31
+	li t0, 0x7F800000
+	or a0, a0, t0
+	j ss_ret
+ss_b_fin:
+	bnez t2, ss_bb_impl
+	addi t4, t4, 1
+	j ss_bb_shift
+ss_bb_impl:
+	li t0, 0x40000000
+	or s0, s0, t0
+ss_bb_shift:
+	mv a0, s0
+	sub a1, zero, t4
+	mv s2, t3               ; zExp = bExp
+	call sf_shr_jam
+	mv s0, a0
+	li t0, 0x40000000
+	or s1, s1, t0
+	sub t0, s1, s0          ; zSig = bSig - aSig
+	xori a2, a2, 1
+	j ss_norm
+ss_abig:
+	li t0, 0xFF
+	bne t2, t0, ss_a_fin
+	bnez s0, ss_propnan
+	j ss_ret                ; a infinite: return a
+ss_a_fin:
+	bnez t3, ss_ab_impl
+	addi t4, t4, -1
+	j ss_ab_shift
+ss_ab_impl:
+	li t0, 0x40000000
+	or s1, s1, t0
+ss_ab_shift:
+	mv a0, s1
+	mv a1, t4
+	mv s2, t2               ; zExp = aExp
+	call sf_shr_jam
+	mv s1, a0
+	li t0, 0x40000000
+	or s0, s0, t0
+	sub t0, s0, s1
+	j ss_norm
+ss_equal:
+	li t0, 0xFF
+	bne t2, t0, ss_eq_fin
+	or t1, s0, s1
+	bnez t1, ss_propnan
+	li a0, 0x7FC00000       ; inf - inf: invalid, default NaN
+	j ss_ret
+ss_eq_fin:
+	bnez t2, ss_eq_cmp
+	li t2, 1                ; subnormals compare at exponent 1
+ss_eq_cmp:
+	bltu s1, s0, ss_eq_abig
+	bltu s0, s1, ss_eq_bbig
+	li a0, 0                ; exact cancellation: +0 under RNE
+	j ss_ret
+ss_eq_abig:
+	sub t0, s0, s1
+	mv s2, t2
+	j ss_norm
+ss_eq_bbig:
+	sub t0, s1, s0
+	mv s2, t2
+	xori a2, a2, 1
+ss_norm:
+	mv a0, a2
+	addi a1, s2, -1
+	mv a2, t0
+	call sf_normroundpack
+	j ss_ret
+ss_propnan:
+	call sf_propnan
+ss_ret:
+	lw ra, 0(sp)
+	lw s0, 4(sp)
+	lw s1, 8(sp)
+	lw s2, 12(sp)
+	addi sp, sp, 16
+	ret
+
+; ---------------------------------------------------------------
+; f32_mul: a0 * a1 -> a0.
+; ---------------------------------------------------------------
+f32_mul:
+	subi sp, sp, 16
+	sw ra, 0(sp)
+	sw s0, 4(sp)
+	sw s1, 8(sp)
+	sw s2, 12(sp)
+	li t0, 0x7FFFFF
+	and s0, a0, t0          ; aSig
+	and s1, a1, t0          ; bSig
+	srli t2, a0, 23
+	andi t2, t2, 0xFF       ; aExp
+	srli t3, a1, 23
+	andi t3, t3, 0xFF       ; bExp
+	srli t0, a0, 31
+	srli t1, a1, 31
+	xor a2, t0, t1          ; zSign
+	li t4, 0xFF
+	bne t2, t4, mul_a_fin
+	; a is inf or NaN
+	bnez s0, mul_propnan
+	bne t3, t4, mul_ainf_bfin
+	bnez s1, mul_propnan
+	j mul_inf               ; inf * inf
+mul_ainf_bfin:
+	or t0, t3, s1
+	bnez t0, mul_inf
+	li a0, 0x7FC00000       ; inf * 0: invalid
+	j mul_ret
+mul_a_fin:
+	bne t3, t4, mul_b_fin
+	bnez s1, mul_propnan
+	or t0, t2, s0
+	bnez t0, mul_inf
+	li a0, 0x7FC00000       ; 0 * inf
+	j mul_ret
+mul_inf:
+	slli a0, a2, 31
+	li t0, 0x7F800000
+	or a0, a0, t0
+	j mul_ret
+mul_b_fin:
+	bnez t2, mul_a_norm
+	bnez s0, mul_a_subn
+	slli a0, a2, 31         ; signed zero
+	j mul_ret
+mul_a_subn:
+	mv a0, s0
+	call sf_clz
+	addi t0, a0, -8
+	li t2, 1
+	sub t2, t2, t0          ; aExp = 1 - shift
+	sll s0, s0, t0
+mul_a_norm:
+	bnez t3, mul_b_norm
+	bnez s1, mul_b_subn
+	slli a0, a2, 31
+	j mul_ret
+mul_b_subn:
+	mv a0, s1
+	call sf_clz
+	addi t0, a0, -8
+	li t3, 1
+	sub t3, t3, t0
+	sll s1, s1, t0
+mul_b_norm:
+	add s2, t2, t3
+	addi s2, s2, -127       ; zExp = aExp + bExp - 0x7F
+	li t0, 0x800000
+	or s0, s0, t0
+	or s1, s1, t0
+	slli s0, s0, 7          ; 31-bit operand
+	slli s1, s1, 8          ; 32-bit operand
+	mulhu t0, s0, s1        ; product high
+	mul t1, s0, s1          ; product low (sticky only)
+	beqz t1, mul_nolo
+	ori t0, t0, 1
+mul_nolo:
+	slli t1, t0, 1
+	blt t1, zero, mul_rp    ; leading 1 already at bit 30
+	mv t0, t1
+	addi s2, s2, -1
+mul_rp:
+	mv a0, a2
+	mv a1, s2
+	mv a2, t0
+	call sf_roundpack
+	j mul_ret
+mul_propnan:
+	call sf_propnan
+mul_ret:
+	lw ra, 0(sp)
+	lw s0, 4(sp)
+	lw s1, 8(sp)
+	lw s2, 12(sp)
+	addi sp, sp, 16
+	ret
+
+; ---------------------------------------------------------------
+; f32_div: a0 / a1 -> a0. The quotient is produced by a 32-step
+; restoring division — the soft core has no divider, which is where
+; most of the division's ~400 cycles go.
+; ---------------------------------------------------------------
+f32_div:
+	subi sp, sp, 16
+	sw ra, 0(sp)
+	sw s0, 4(sp)
+	sw s1, 8(sp)
+	sw s2, 12(sp)
+	li t0, 0x7FFFFF
+	and s0, a0, t0
+	and s1, a1, t0
+	srli t2, a0, 23
+	andi t2, t2, 0xFF
+	srli t3, a1, 23
+	andi t3, t3, 0xFF
+	srli t0, a0, 31
+	srli t1, a1, 31
+	xor a2, t0, t1
+	li t4, 0xFF
+	bne t2, t4, div_a_fin
+	bnez s0, div_propnan
+	bne t3, t4, div_inf
+	bnez s1, div_propnan
+	li a0, 0x7FC00000       ; inf / inf
+	j div_ret
+div_a_fin:
+	bne t3, t4, div_b_fin
+	bnez s1, div_propnan
+	slli a0, a2, 31         ; finite / inf = 0
+	j div_ret
+div_b_fin:
+	bnez t3, div_b_norm
+	bnez s1, div_b_subn
+	; division by zero
+	or t0, t2, s0
+	bnez t0, div_inf
+	li a0, 0x7FC00000       ; 0 / 0
+	j div_ret
+div_b_subn:
+	mv a0, s1
+	call sf_clz
+	addi t0, a0, -8
+	li t3, 1
+	sub t3, t3, t0
+	sll s1, s1, t0
+div_b_norm:
+	bnez t2, div_a_norm
+	bnez s0, div_a_subn
+	slli a0, a2, 31         ; 0 / finite
+	j div_ret
+div_a_subn:
+	mv a0, s0
+	call sf_clz
+	addi t0, a0, -8
+	li t2, 1
+	sub t2, t2, t0
+	sll s0, s0, t0
+div_a_norm:
+	sub s2, t2, t3
+	addi s2, s2, 125        ; zExp = aExp - bExp + 0x7D
+	li t0, 0x800000
+	or s0, s0, t0
+	or s1, s1, t0
+	slli s0, s0, 7
+	slli s1, s1, 8
+	add t0, s0, s0
+	bltu s1, t0, div_prescale
+	beq s1, t0, div_prescale
+	j div_loop_init
+div_prescale:
+	srli s0, s0, 1
+	addi s2, s2, 1
+div_loop_init:
+	; restoring division of (s0 : 0) / s1, 32 quotient bits.
+	li t2, 0                ; quotient
+	mv t3, s0               ; remainder
+	li t4, 32
+div_loop:
+	srli t0, t3, 31         ; carry out of remainder<<1
+	slli t3, t3, 1
+	slli t2, t2, 1
+	bnez t0, div_sub        ; carry set: subtraction always succeeds
+	bltu t3, s1, div_next
+div_sub:
+	sub t3, t3, s1
+	ori t2, t2, 1
+div_next:
+	addi t4, t4, -1
+	bnez t4, div_loop
+	; sticky: remainder nonzero
+	beqz t3, div_rp
+	ori t2, t2, 1
+div_rp:
+	mv a0, a2
+	mv a1, s2
+	mv a2, t2
+	call sf_roundpack
+	j div_ret
+div_inf:
+	slli a0, a2, 31
+	li t0, 0x7F800000
+	or a0, a0, t0
+	j div_ret
+div_propnan:
+	call sf_propnan
+div_ret:
+	lw ra, 0(sp)
+	lw s0, 4(sp)
+	lw s1, 8(sp)
+	lw s2, 12(sp)
+	addi sp, sp, 16
+	ret
+
+; ---------------------------------------------------------------
+; f32_from_i32: signed int32 -> f32 (RNE).
+; ---------------------------------------------------------------
+f32_from_i32:
+	bnez a0, fi_nonzero
+	ret                     ; +0
+fi_nonzero:
+	li t0, 0x80000000
+	bne a0, t0, fi_general
+	li a0, 0xCF000000       ; exactly -2^31
+	ret
+fi_general:
+	slt t0, a0, zero        ; sign
+	bge a0, zero, fi_pos
+	sub a0, zero, a0
+fi_pos:
+	mv a2, a0
+	mv a0, t0
+	li a1, 0x9C
+	j sf_normroundpack      ; tail call
+
+; ---------------------------------------------------------------
+; f32_to_i32: f32 -> signed int32, round to nearest-even.
+; NaN and overflow clamp like the host library (NaN -> INT_MIN,
+; overflow -> signed extreme).
+; ---------------------------------------------------------------
+f32_to_i32:
+	li t0, 0x7FFFFF
+	and t1, a0, t0          ; frac
+	srli t2, a0, 23
+	andi t2, t2, 0xFF       ; exp
+	srli t3, a0, 31         ; sign
+	li t0, 0xFF
+	bne t2, t0, ti_finite
+	bnez t1, ti_nan
+ti_finite:
+	beqz t2, ti_hasbits
+	li t0, 0x800000
+	or t1, t1, t0           ; implicit bit
+ti_hasbits:
+	addi t4, t2, -150       ; shiftCount = exp - 0x96
+	li t0, 8
+	blt t4, t0, ti_inrange
+	; |a| >= 2^31: only -2^31 survives
+	li t0, 0xCF000000
+	beq a0, t0, ti_min
+	bnez t3, ti_min
+	li a0, 0x7FFFFFFF
+	ret
+ti_min:
+	li a0, 0x80000000
+	ret
+ti_nan:
+	li a0, 0x80000000
+	ret
+ti_inrange:
+	blt t4, zero, ti_frac
+	sll t1, t1, t4          ; exact integer
+	j ti_sign
+ti_frac:
+	sub t4, zero, t4        ; k = -shiftCount
+	li t0, 32
+	blt t4, t0, ti_shift
+	; k >= 32: integer part 0; frac rounds to 0 unless value huge (k
+	; <= 32+24 always here, and aSig < 2^25 so result is 0 for k>25;
+	; handle k in [25,31] in ti_shift, so only clamp k to 31 for the
+	; sticky behaviour of tiny values: result rounds to 0 unless the
+	; value is >= 0.5, which needs k == 24..31 anyway — covered below.
+	li a0, 0
+	ret
+ti_shift:
+	srl t0, t1, t4          ; integer part
+	li t2, 32
+	sub t2, t2, t4
+	sll t1, t1, t2          ; fraction as 0.32
+	; RNE: up if frac > 0x80000000, or == with odd integer.
+	li t2, 0x80000000
+	bltu t2, t1, ti_up
+	bne t1, t2, ti_done
+	andi t1, t0, 1
+	beqz t1, ti_done
+ti_up:
+	addi t0, t0, 1
+ti_done:
+	mv t1, t0
+ti_sign:
+	beqz t3, ti_ret
+	sub t1, zero, t1
+ti_ret:
+	mv a0, t1
+	ret
+
+`
+
+// softFloatCompareLib holds the comparison routines (appended to
+// SoftFloatLib by Library): a0 ? a1 -> a0 in {0, 1}, NaN compares
+// false, with the IEEE +0 == -0 identification.
+const softFloatCompareLib = `
+; ---------------------------------------------------------------
+; sf_cmp_prep: checks both operands for NaN. a0 = a, a1 = b.
+; Returns t4 = 1 if either is NaN. Clobbers t0-t3.
+; ---------------------------------------------------------------
+sf_cmp_prep:
+	li t0, 0x7FFFFF
+	li t3, 0xFF
+	li t4, 0
+	and t1, a0, t0
+	srli t2, a0, 23
+	andi t2, t2, 0xFF
+	bne t2, t3, cp_b
+	beqz t1, cp_b
+	li t4, 1
+	ret
+cp_b:
+	and t1, a1, t0
+	srli t2, a1, 23
+	andi t2, t2, 0xFF
+	bne t2, t3, cp_ok
+	beqz t1, cp_ok
+	li t4, 1
+cp_ok:
+	ret
+
+f32_cmp_eq:
+	subi sp, sp, 4
+	sw ra, 0(sp)
+	call sf_cmp_prep
+	lw ra, 0(sp)
+	addi sp, sp, 4
+	bnez t4, ceq_false
+	beq a0, a1, ceq_true
+	; +0 == -0: (a|b)<<1 == 0
+	or t0, a0, a1
+	slli t0, t0, 1
+	beqz t0, ceq_true
+ceq_false:
+	li a0, 0
+	ret
+ceq_true:
+	li a0, 1
+	ret
+
+f32_cmp_lt:
+	subi sp, sp, 4
+	sw ra, 0(sp)
+	call sf_cmp_prep
+	lw ra, 0(sp)
+	addi sp, sp, 4
+	bnez t4, clt_false
+	srli t0, a0, 31
+	srli t1, a1, 31
+	bne t0, t1, clt_signs
+	; same sign: compare magnitudes (flip for negatives).
+	beqz t0, clt_pos
+	bltu a1, a0, clt_true
+	j clt_false
+clt_pos:
+	bltu a0, a1, clt_true
+	j clt_false
+clt_signs:
+	; a < b only if a negative and not both zero.
+	beqz t0, clt_false
+	or t2, a0, a1
+	slli t2, t2, 1
+	beqz t2, clt_false
+clt_true:
+	li a0, 1
+	ret
+clt_false:
+	li a0, 0
+	ret
+
+f32_cmp_le:
+	subi sp, sp, 4
+	sw ra, 0(sp)
+	call sf_cmp_prep
+	lw ra, 0(sp)
+	addi sp, sp, 4
+	bnez t4, cle_false
+	srli t0, a0, 31
+	srli t1, a1, 31
+	bne t0, t1, cle_signs
+	beqz t0, cle_pos
+	bgeu a0, a1, cle_true   ; negative: a <= b iff bits(a) >= bits(b)
+	j cle_false
+cle_pos:
+	bgeu a1, a0, cle_true
+	j cle_false
+cle_signs:
+	bnez t0, cle_true       ; negative <= positive always
+	or t2, a0, a1
+	slli t2, t2, 1
+	beqz t2, cle_true       ; +0 <= -0
+cle_false:
+	li a0, 0
+	ret
+cle_true:
+	li a0, 1
+	ret
+`

@@ -1,0 +1,294 @@
+package sabre
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boresight/internal/softfloat"
+)
+
+// The assembly library must be bit-identical to the host softfloat
+// package (which the softfloat tests verify against native hardware).
+
+func randOperand(rng *rand.Rand) uint32 {
+	switch rng.Intn(10) {
+	case 0:
+		return rng.Uint32() & 0x807FFFFF // subnormal/zero
+	case 1:
+		return 0x7F800000 | rng.Uint32()&0x80000000 // inf
+	case 2:
+		return 0x7F800000 | rng.Uint32()&0x807FFFFF // NaN-ish
+	case 3:
+		exp := uint32(120 + rng.Intn(16))
+		return rng.Uint32()&0x80000000 | exp<<23 | rng.Uint32()&0x007FFFFF
+	default:
+		return rng.Uint32()
+	}
+}
+
+func nan32(v uint32) bool { return softfloat.IsNaN32(softfloat.F32(v)) }
+
+func checkBatchAgainstHost(t *testing.T, routine string, host func(ctx *softfloat.Context, a, b softfloat.F32) softfloat.F32, seed int64, n int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]uint32, n)
+	for i := range pairs {
+		pairs[i] = [2]uint32{randOperand(rng), randOperand(rng)}
+	}
+	got, perOp, err := RunBatch(routine, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx softfloat.Context
+	for i, p := range pairs {
+		want := uint32(host(&ctx, softfloat.F32(p[0]), softfloat.F32(p[1])))
+		if got[i] != want && !(nan32(got[i]) && nan32(want)) {
+			t.Fatalf("%s(%08x, %08x) = %08x, want %08x", routine, p[0], p[1], got[i], want)
+		}
+	}
+	return perOp
+}
+
+func TestAsmF32AddBitExact(t *testing.T) {
+	perOp := checkBatchAgainstHost(t, "f32_add",
+		func(c *softfloat.Context, a, b softfloat.F32) softfloat.F32 { return c.Add32(a, b) }, 1, 2000)
+	t.Logf("f32_add: %.1f cycles/op", perOp)
+	if perOp < 20 || perOp > 400 {
+		t.Fatalf("add cycles/op %v implausible", perOp)
+	}
+}
+
+func TestAsmF32SubBitExact(t *testing.T) {
+	checkBatchAgainstHost(t, "f32_sub",
+		func(c *softfloat.Context, a, b softfloat.F32) softfloat.F32 { return c.Sub32(a, b) }, 2, 2000)
+}
+
+func TestAsmF32MulBitExact(t *testing.T) {
+	perOp := checkBatchAgainstHost(t, "f32_mul",
+		func(c *softfloat.Context, a, b softfloat.F32) softfloat.F32 { return c.Mul32(a, b) }, 3, 2000)
+	t.Logf("f32_mul: %.1f cycles/op", perOp)
+}
+
+func TestAsmF32DivBitExact(t *testing.T) {
+	perOp := checkBatchAgainstHost(t, "f32_div",
+		func(c *softfloat.Context, a, b softfloat.F32) softfloat.F32 { return c.Div32(a, b) }, 4, 2000)
+	t.Logf("f32_div: %.1f cycles/op", perOp)
+	// Division must be much slower than addition: the 32-step
+	// restoring divider dominates.
+	addPerOp := checkBatchAgainstHost(t, "f32_add",
+		func(c *softfloat.Context, a, b softfloat.F32) softfloat.F32 { return c.Add32(a, b) }, 5, 500)
+	if perOp < addPerOp {
+		t.Fatalf("div (%v) not slower than add (%v)", perOp, addPerOp)
+	}
+}
+
+func TestAsmF32DirectedCases(t *testing.T) {
+	f := func(x float32) uint32 { return math.Float32bits(x) }
+	cases := [][2]uint32{
+		{f(1), f(1)}, {f(1), f(-1)}, {f(0.1), f(0.2)},
+		{0x7F800000, 0xFF800000}, // inf, -inf
+		{0x7FC00001, f(1)},       // quiet NaN
+		{0x7F800001, f(1)},       // signaling NaN
+		{0, 0x80000000},          // +0, -0
+		{1, 2},                   // subnormals
+		{0x7F7FFFFF, 0x7F7FFFFF}, // max finite
+		{0x00800000, 0x00800001}, // min normal
+		{f(1.5e-45), f(3e-45)},   // tiny
+		{f(16777216), f(1)},      // 2^24 + 1 rounding
+		{f(16777217), f(-1)},
+	}
+	var ctx softfloat.Context
+	for _, routine := range []string{"f32_add", "f32_sub", "f32_mul", "f32_div"} {
+		got, _, err := RunBatch(routine, cases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range cases {
+			var want softfloat.F32
+			a, b := softfloat.F32(p[0]), softfloat.F32(p[1])
+			switch routine {
+			case "f32_add":
+				want = ctx.Add32(a, b)
+			case "f32_sub":
+				want = ctx.Sub32(a, b)
+			case "f32_mul":
+				want = ctx.Mul32(a, b)
+			case "f32_div":
+				want = ctx.Div32(a, b)
+			}
+			if got[i] != uint32(want) && !(nan32(got[i]) && nan32(uint32(want))) {
+				t.Errorf("%s(%08x, %08x) = %08x, want %08x", routine, p[0], p[1], got[i], uint32(want))
+			}
+		}
+	}
+}
+
+func TestAsmF32FromI32(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pairs := make([][2]uint32, 2000)
+	for i := range pairs {
+		pairs[i] = [2]uint32{rng.Uint32(), 0}
+	}
+	pairs = append(pairs, [2]uint32{0, 0}, [2]uint32{0x80000000, 0},
+		[2]uint32{0x7FFFFFFF, 0}, [2]uint32{1, 0}, [2]uint32{0xFFFFFFFF, 0})
+	got, _, err := RunBatch("f32_from_i32", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx softfloat.Context
+	for i, p := range pairs {
+		want := uint32(ctx.IntToF32(int32(p[0])))
+		if got[i] != want {
+			t.Fatalf("f32_from_i32(%d) = %08x, want %08x", int32(p[0]), got[i], want)
+		}
+	}
+}
+
+func TestAsmF32ToI32(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([][2]uint32, 2000)
+	for i := range pairs {
+		pairs[i] = [2]uint32{randOperand(rng), 0}
+	}
+	f := func(x float32) uint32 { return math.Float32bits(x) }
+	pairs = append(pairs,
+		[2]uint32{f(0.5), 0}, [2]uint32{f(1.5), 0}, [2]uint32{f(2.5), 0},
+		[2]uint32{f(-0.5), 0}, [2]uint32{f(-1.5), 0},
+		[2]uint32{f(2147483647), 0}, [2]uint32{f(-2147483648), 0},
+		[2]uint32{f(3e9), 0}, [2]uint32{f(-3e9), 0},
+		[2]uint32{0x7FC00000, 0},
+	)
+	got, _, err := RunBatch("f32_to_i32", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		var ctx softfloat.Context
+		want := uint32(ctx.F32ToInt(softfloat.F32(p[0])))
+		if got[i] != want {
+			t.Fatalf("f32_to_i32(%08x = %g) = %d, want %d",
+				p[0], math.Float32frombits(p[0]), int32(got[i]), int32(want))
+		}
+	}
+}
+
+func TestAsmComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pairs := make([][2]uint32, 2000)
+	for i := range pairs {
+		pairs[i] = [2]uint32{randOperand(rng), randOperand(rng)}
+		if rng.Intn(4) == 0 {
+			pairs[i][1] = pairs[i][0] // force equality cases
+		}
+	}
+	pairs = append(pairs, [2]uint32{0, 0x80000000}, [2]uint32{0x80000000, 0})
+	for _, c := range []struct {
+		routine string
+		host    func(ctx *softfloat.Context, a, b softfloat.F32) bool
+	}{
+		{"f32_cmp_eq", func(ctx *softfloat.Context, a, b softfloat.F32) bool { return ctx.Eq32(a, b) }},
+		{"f32_cmp_lt", func(ctx *softfloat.Context, a, b softfloat.F32) bool { return ctx.Lt32(a, b) }},
+		{"f32_cmp_le", func(ctx *softfloat.Context, a, b softfloat.F32) bool { return ctx.Le32(a, b) }},
+	} {
+		got, _, err := RunBatch(c.routine, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ctx softfloat.Context
+		for i, p := range pairs {
+			want := uint32(0)
+			if c.host(&ctx, softfloat.F32(p[0]), softfloat.F32(p[1])) {
+				want = 1
+			}
+			if got[i] != want {
+				t.Fatalf("%s(%08x, %08x) = %d, want %d", c.routine, p[0], p[1], got[i], want)
+			}
+		}
+	}
+}
+
+func TestAsmF32Neg(t *testing.T) {
+	pairs := [][2]uint32{{0x3F800000, 0}, {0xBF800000, 0}, {0, 0}, {0x7FC00000, 0}}
+	got, _, err := RunBatch("f32_neg", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if got[i] != p[0]^0x80000000 {
+			t.Fatalf("neg(%08x) = %08x", p[0], got[i])
+		}
+	}
+}
+
+func TestLibraryFitsProgramStore(t *testing.T) {
+	prog, err := BatchProgram("f32_add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Words) > ProgWords {
+		t.Fatalf("library + driver = %d words, exceeds %d", len(prog.Words), ProgWords)
+	}
+	t.Logf("library + driver = %d words (%.0f%% of program store)",
+		len(prog.Words), 100*float64(len(prog.Words))/ProgWords)
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	if _, _, err := RunBatch("bogus", nil); err == nil {
+		t.Fatal("bogus routine accepted")
+	}
+	if _, _, err := RunBatch("f32_add", make([][2]uint32, MaxBatch+1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// Empty batch is fine.
+	out, _, err := RunBatch("f32_add", nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+}
+
+func BenchmarkAsmF32Add(b *testing.B) {
+	pairs := [][2]uint32{{0x3FC00000, 0x40200000}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunBatch("f32_add", pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAsmF32SqrtBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pairs := make([][2]uint32, 3000)
+	for i := range pairs {
+		pairs[i] = [2]uint32{randOperand(rng), 0}
+	}
+	f := func(x float32) uint32 { return math.Float32bits(x) }
+	pairs = append(pairs,
+		[2]uint32{f(0), 0}, [2]uint32{0x80000000, 0}, // ±0
+		[2]uint32{f(1), 0}, [2]uint32{f(2), 0}, [2]uint32{f(4), 0},
+		[2]uint32{f(-1), 0},              // invalid
+		[2]uint32{0x7F800000, 0},         // +inf
+		[2]uint32{0xFF800000, 0},         // -inf
+		[2]uint32{0x7FC00000, 0},         // NaN
+		[2]uint32{1, 0}, [2]uint32{2, 0}, // subnormals
+		[2]uint32{0x00800000, 0}, // min normal
+		[2]uint32{0x7F7FFFFF, 0}, // max finite
+	)
+	got, perOp, err := RunBatch("f32_sqrt", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctx softfloat.Context
+	for i, p := range pairs {
+		want := uint32(ctx.Sqrt32(softfloat.F32(p[0])))
+		if got[i] != want && !(nan32(got[i]) && nan32(want)) {
+			t.Fatalf("f32_sqrt(%08x = %g) = %08x, want %08x",
+				p[0], math.Float32frombits(p[0]), got[i], want)
+		}
+	}
+	t.Logf("f32_sqrt: %.1f cycles/op", perOp)
+	if perOp < 100 || perOp > 1500 {
+		t.Fatalf("sqrt cycles/op %v implausible", perOp)
+	}
+}

@@ -1,0 +1,162 @@
+// Package serial models the RS232/UART links of the paper's Figure 2:
+// 8N1 framing (one start bit, eight data bits LSB first, one stop bit),
+// baud-rate timing, and a receiver state machine that detects framing
+// errors. Both sensor streams enter the FPGA through ports modelled
+// here (the IMU via the CAN-to-RS232 bridge, the ACC directly).
+package serial
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Standard baud rates used by the board's two ports.
+const (
+	Baud9600   = 9600
+	Baud19200  = 19200
+	Baud38400  = 38400
+	Baud57600  = 57600
+	Baud115200 = 115200
+)
+
+// BitsPerByte is the line bits per data byte in 8N1 framing.
+const BitsPerByte = 10
+
+// ErrFramingError is reported when a stop bit is not high.
+var ErrFramingError = errors.New("serial: framing error (stop bit low)")
+
+// EncodeByte returns the 10-bit 8N1 line sequence for one byte:
+// start (low), data LSB first, stop (high). true is line high (idle).
+func EncodeByte(b byte) []bool {
+	out := make([]bool, 0, BitsPerByte)
+	out = append(out, false) // start bit
+	for i := 0; i < 8; i++ {
+		out = append(out, b>>uint(i)&1 == 1)
+	}
+	out = append(out, true) // stop bit
+	return out
+}
+
+// Encode returns the line bit sequence for a byte string with no
+// inter-byte idle time.
+func Encode(data []byte) []bool {
+	out := make([]bool, 0, len(data)*BitsPerByte)
+	for _, b := range data {
+		out = append(out, EncodeByte(b)...)
+	}
+	return out
+}
+
+// Decoder is a UART receiver state machine. Feed it line bits (one per
+// bit time); completed bytes are appended to an output slice. The zero
+// value is an idle receiver.
+type Decoder struct {
+	inByte   bool
+	bitIdx   int
+	current  byte
+	framingE int
+}
+
+// Push consumes one line bit. It returns (b, true, nil) when a byte
+// completes, and a framing error (with the byte discarded) when the
+// stop bit is low.
+func (d *Decoder) Push(bit bool) (byte, bool, error) {
+	if !d.inByte {
+		if !bit { // start bit
+			d.inByte = true
+			d.bitIdx = 0
+			d.current = 0
+		}
+		return 0, false, nil
+	}
+	if d.bitIdx < 8 {
+		if bit {
+			d.current |= 1 << uint(d.bitIdx)
+		}
+		d.bitIdx++
+		return 0, false, nil
+	}
+	// Stop bit position.
+	d.inByte = false
+	if !bit {
+		d.framingE++
+		return 0, false, ErrFramingError
+	}
+	return d.current, true, nil
+}
+
+// FramingErrors returns the number of framing errors seen.
+func (d *Decoder) FramingErrors() int { return d.framingE }
+
+// Decode runs a bit sequence through a fresh decoder and returns the
+// received bytes; framing errors discard the affected byte and resync.
+func Decode(bits []bool) []byte {
+	var d Decoder
+	var out []byte
+	for _, bit := range bits {
+		if b, ok, _ := d.Push(bit); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Port models one UART with a transmit queue and baud-rate timing. Time
+// is advanced explicitly by the caller (the cycle simulation), and bytes
+// become available at the instant their last bit would arrive.
+type Port struct {
+	baud    float64
+	queue   []timedByte
+	now     float64
+	nextTxT float64
+}
+
+type timedByte struct {
+	at float64
+	b  byte
+}
+
+// NewPort returns a port at the given baud rate.
+func NewPort(baud float64) *Port {
+	if baud <= 0 {
+		panic(fmt.Sprintf("serial: invalid baud %v", baud))
+	}
+	return &Port{baud: baud}
+}
+
+// ByteTime returns the wall time to transfer one byte (10 line bits).
+func (p *Port) ByteTime() float64 { return BitsPerByte / p.baud }
+
+// Send queues data for transmission starting no earlier than the current
+// time; bytes arrive back-to-back at the line rate.
+func (p *Port) Send(data []byte) {
+	t := p.nextTxT
+	if t < p.now {
+		t = p.now
+	}
+	for _, b := range data {
+		t += p.ByteTime()
+		p.queue = append(p.queue, timedByte{at: t, b: b})
+	}
+	p.nextTxT = t
+}
+
+// Advance moves the port clock to time t and returns every byte whose
+// transfer completed by then, in order.
+func (p *Port) Advance(t float64) []byte {
+	p.now = t
+	var out []byte
+	i := 0
+	for ; i < len(p.queue) && p.queue[i].at <= t; i++ {
+		out = append(out, p.queue[i].b)
+	}
+	p.queue = p.queue[i:]
+	return out
+}
+
+// Pending returns the number of bytes still in flight.
+func (p *Port) Pending() int { return len(p.queue) }
+
+// Busy reports whether the transmitter still has bytes in flight at the
+// current time.
+func (p *Port) Busy() bool { return len(p.queue) > 0 }

@@ -1,0 +1,178 @@
+package serial
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeByteFraming(t *testing.T) {
+	bits := EncodeByte(0xA5) // 1010 0101
+	if len(bits) != 10 {
+		t.Fatalf("len = %d", len(bits))
+	}
+	if bits[0] {
+		t.Fatal("start bit not low")
+	}
+	if !bits[9] {
+		t.Fatal("stop bit not high")
+	}
+	// Data LSB first: 1,0,1,0,0,1,0,1.
+	want := []bool{true, false, true, false, false, true, false, true}
+	for i, w := range want {
+		if bits[1+i] != w {
+			t.Fatalf("data bit %d = %v", i, bits[1+i])
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		data := make([]byte, rng.Intn(64))
+		rng.Read(data)
+		got := Decode(Encode(data))
+		if !bytes.Equal(got, data) && !(len(data) == 0 && len(got) == 0) {
+			t.Fatalf("round trip %x -> %x", data, got)
+		}
+	}
+}
+
+func TestDecoderIdleIgnoresHighLine(t *testing.T) {
+	var d Decoder
+	for i := 0; i < 100; i++ {
+		if _, ok, err := d.Push(true); ok || err != nil {
+			t.Fatal("idle line produced output")
+		}
+	}
+}
+
+func TestDecoderFramingError(t *testing.T) {
+	var d Decoder
+	bits := EncodeByte(0x42)
+	bits[9] = false // break the stop bit
+	var got []byte
+	var sawErr bool
+	for _, b := range bits {
+		v, ok, err := d.Push(b)
+		if err == ErrFramingError {
+			sawErr = true
+		}
+		if ok {
+			got = append(got, v)
+		}
+	}
+	if !sawErr {
+		t.Fatal("no framing error reported")
+	}
+	if len(got) != 0 {
+		t.Fatalf("corrupted byte delivered: %x", got)
+	}
+	if d.FramingErrors() != 1 {
+		t.Fatalf("FramingErrors = %d", d.FramingErrors())
+	}
+	// Decoder must resynchronise on the next good byte.
+	for _, b := range EncodeByte(0x37) {
+		if v, ok, _ := d.Push(b); ok && v != 0x37 {
+			t.Fatalf("post-error byte = %#x", v)
+		}
+	}
+}
+
+func TestPortTiming(t *testing.T) {
+	p := NewPort(Baud9600)
+	bt := p.ByteTime()
+	if math.Abs(bt-10.0/9600) > 1e-15 {
+		t.Fatalf("ByteTime = %v", bt)
+	}
+	p.Send([]byte{1, 2, 3})
+	if p.Pending() != 3 {
+		t.Fatalf("Pending = %d", p.Pending())
+	}
+	// Nothing before the first byte completes.
+	if got := p.Advance(bt * 0.99); len(got) != 0 {
+		t.Fatalf("early delivery: %x", got)
+	}
+	// First byte at 1·bt.
+	if got := p.Advance(bt * 1.01); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("first byte = %x", got)
+	}
+	// Remaining two by 3·bt.
+	if got := p.Advance(bt * 3.01); !bytes.Equal(got, []byte{2, 3}) {
+		t.Fatalf("rest = %x", got)
+	}
+	if p.Busy() {
+		t.Fatal("port still busy")
+	}
+}
+
+func TestPortBackToBackSends(t *testing.T) {
+	p := NewPort(Baud115200)
+	bt := p.ByteTime()
+	p.Send([]byte{1})
+	p.Send([]byte{2}) // queues immediately after byte 1
+	got := p.Advance(2.01 * bt)
+	if !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestPortSendAfterIdleStartsAtNow(t *testing.T) {
+	p := NewPort(Baud9600)
+	bt := p.ByteTime()
+	p.Send([]byte{1})
+	p.Advance(5) // long idle
+	p.Send([]byte{2})
+	// Byte 2 completes one byte time after t=5, not stacked at t≈0.
+	if got := p.Advance(5 + 0.99*bt); len(got) != 0 {
+		t.Fatalf("early: %x", got)
+	}
+	if got := p.Advance(5 + 1.01*bt); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestNewPortValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("baud 0 accepted")
+		}
+	}()
+	NewPort(0)
+}
+
+// Property via testing/quick: every byte value round-trips alone.
+func TestSingleByteQuick(t *testing.T) {
+	f := func(b byte) bool {
+		got := Decode(EncodeByte(b))
+		return len(got) == 1 && got[0] == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeResyncAfterGarbage(t *testing.T) {
+	// Garbage low bits followed by a valid byte: decoder must
+	// eventually deliver the valid byte.
+	stream := []bool{false, true, true, false, true, false, true, true, false, false}
+	stream = append(stream, true, true, true, true) // idle
+	stream = append(stream, EncodeByte(0x5A)...)
+	got := Decode(stream)
+	if len(got) == 0 || got[len(got)-1] != 0x5A {
+		t.Fatalf("resync failed: %x", got)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Decode(Encode(data))
+	}
+}

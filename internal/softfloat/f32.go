@@ -1,0 +1,558 @@
+package softfloat
+
+import "math/bits"
+
+// binary32 operations, ported from the Berkeley SoftFloat algorithms.
+//
+// Internal significand convention: roundAndPackF32 accepts a significand
+// normalised with its leading 1 at bit 30 and 7 extra rounding bits at
+// the bottom; the exponent passed is one less than the true biased
+// exponent because packF32 re-adds the leading bit.
+
+func packF32(sign bool, exp int32, sig uint32) F32 {
+	s := uint32(0)
+	if sign {
+		s = 1
+	}
+	return F32(s<<31 + uint32(exp)<<23 + sig)
+}
+
+func signF32(a F32) bool   { return a>>31 != 0 }
+func expF32(a F32) int32   { return int32(a>>23) & 0xFF }
+func fracF32(a F32) uint32 { return uint32(a) & 0x007FFFFF }
+
+// IsNaN32 reports whether a is a NaN of either kind.
+func IsNaN32(a F32) bool { return expF32(a) == 0xFF && fracF32(a) != 0 }
+
+// IsInf32 reports whether a is +Inf or -Inf.
+func IsInf32(a F32) bool { return expF32(a) == 0xFF && fracF32(a) == 0 }
+
+// IsSignalingNaN32 reports whether a is a signaling NaN (quiet bit clear).
+func IsSignalingNaN32(a F32) bool {
+	return expF32(a) == 0xFF && fracF32(a) != 0 && a&0x00400000 == 0
+}
+
+// propagateNaNF32 returns the appropriate quiet NaN for an operation with
+// at least one NaN operand, raising Invalid for signaling NaNs.
+func (c *Context) propagateNaNF32(a, b F32) F32 {
+	if IsSignalingNaN32(a) || IsSignalingNaN32(b) {
+		c.Flags |= FlagInvalid
+	}
+	if IsNaN32(a) {
+		return a | 0x00400000
+	}
+	if IsNaN32(b) {
+		return b | 0x00400000
+	}
+	return defaultNaN32
+}
+
+// normalizeSubnormalF32 returns the exponent/significand of a subnormal
+// significand normalised so its leading 1 sits at bit 23.
+func normalizeSubnormalF32(sig uint32) (exp int32, outSig uint32) {
+	shift := leadingZeros32(sig) - 8
+	return 1 - int32(shift), sig << uint(shift)
+}
+
+func leadingZeros32(a uint32) int { return bits.LeadingZeros32(a) }
+
+// roundAndPackF32 rounds a significand (leading 1 at bit 30, 7 round
+// bits) under the context rounding mode and packs the result, handling
+// overflow to infinity and underflow to subnormal/zero.
+func (c *Context) roundAndPackF32(sign bool, exp int32, sig uint32) F32 {
+	nearestEven := c.Rounding == RoundNearestEven
+	var inc uint32 = 0x40
+	if !nearestEven {
+		switch {
+		case c.Rounding == RoundToZero:
+			inc = 0
+		case sign:
+			if c.Rounding == RoundDown {
+				inc = 0x7F
+			} else {
+				inc = 0
+			}
+		default:
+			if c.Rounding == RoundUp {
+				inc = 0x7F
+			} else {
+				inc = 0
+			}
+		}
+	}
+	roundBits := sig & 0x7F
+	if uint32(exp) >= 0xFD {
+		if exp > 0xFD || (exp == 0xFD && int32(sig+inc) < 0) {
+			c.Flags |= FlagOverflow | FlagInexact
+			r := packF32(sign, 0xFF, 0)
+			if inc == 0 {
+				r--
+			}
+			return r
+		}
+		if exp < 0 {
+			isTiny := exp < -1 || sig+inc < 0x80000000
+			sig = shift32RightJamming(sig, int(-exp))
+			exp = 0
+			roundBits = sig & 0x7F
+			if isTiny && roundBits != 0 {
+				c.Flags |= FlagUnderflow
+			}
+		}
+	}
+	if roundBits != 0 {
+		c.Flags |= FlagInexact
+	}
+	sig = (sig + inc) >> 7
+	if roundBits^0x40 == 0 && nearestEven {
+		sig &^= 1
+	}
+	if sig == 0 {
+		exp = 0
+	}
+	return packF32(sign, exp, sig)
+}
+
+// normalizeRoundAndPackF32 first normalises an unnormalised significand
+// (leading 1 anywhere at or below bit 30) then rounds and packs.
+func (c *Context) normalizeRoundAndPackF32(sign bool, exp int32, sig uint32) F32 {
+	shift := leadingZeros32(sig) - 1
+	return c.roundAndPackF32(sign, exp-int32(shift), sig<<uint(shift))
+}
+
+// addF32Sigs adds the magnitudes of a and b (which have equal signs) and
+// returns the result with sign zSign.
+func (c *Context) addF32Sigs(a, b F32, zSign bool) F32 {
+	aSig, bSig := fracF32(a), fracF32(b)
+	aExp, bExp := expF32(a), expF32(b)
+	expDiff := aExp - bExp
+	aSig <<= 6
+	bSig <<= 6
+	var zExp int32
+	var zSig uint32
+	switch {
+	case expDiff > 0:
+		if aExp == 0xFF {
+			if aSig != 0 {
+				return c.propagateNaNF32(a, b)
+			}
+			return a
+		}
+		if bExp == 0 {
+			expDiff--
+		} else {
+			bSig |= 0x20000000
+		}
+		bSig = shift32RightJamming(bSig, int(expDiff))
+		zExp = aExp
+	case expDiff < 0:
+		if bExp == 0xFF {
+			if bSig != 0 {
+				return c.propagateNaNF32(a, b)
+			}
+			return packF32(zSign, 0xFF, 0)
+		}
+		if aExp == 0 {
+			expDiff++
+		} else {
+			aSig |= 0x20000000
+		}
+		aSig = shift32RightJamming(aSig, int(-expDiff))
+		zExp = bExp
+	default:
+		if aExp == 0xFF {
+			if aSig|bSig != 0 {
+				return c.propagateNaNF32(a, b)
+			}
+			return a
+		}
+		if aExp == 0 {
+			return packF32(zSign, 0, (aSig+bSig)>>6)
+		}
+		zSig = 0x40000000 + aSig + bSig
+		return c.roundAndPackF32(zSign, aExp, zSig)
+	}
+	aSig |= 0x20000000
+	zSig = (aSig + bSig) << 1
+	zExp--
+	if int32(zSig) < 0 {
+		zSig = aSig + bSig
+		zExp++
+	}
+	return c.roundAndPackF32(zSign, zExp, zSig)
+}
+
+// subF32Sigs subtracts the magnitude of b from that of a (signs differ)
+// and returns the result with the correct sign.
+func (c *Context) subF32Sigs(a, b F32, zSign bool) F32 {
+	aSig, bSig := fracF32(a), fracF32(b)
+	aExp, bExp := expF32(a), expF32(b)
+	expDiff := aExp - bExp
+	aSig <<= 7
+	bSig <<= 7
+	var zExp int32
+	var zSig uint32
+	switch {
+	case expDiff > 0:
+		if aExp == 0xFF {
+			if aSig != 0 {
+				return c.propagateNaNF32(a, b)
+			}
+			return a
+		}
+		if bExp == 0 {
+			expDiff--
+		} else {
+			bSig |= 0x40000000
+		}
+		bSig = shift32RightJamming(bSig, int(expDiff))
+		aSig |= 0x40000000
+		zSig = aSig - bSig
+		zExp = aExp
+	case expDiff < 0:
+		if bExp == 0xFF {
+			if bSig != 0 {
+				return c.propagateNaNF32(a, b)
+			}
+			return packF32(!zSign, 0xFF, 0)
+		}
+		if aExp == 0 {
+			expDiff++
+		} else {
+			aSig |= 0x40000000
+		}
+		aSig = shift32RightJamming(aSig, int(-expDiff))
+		bSig |= 0x40000000
+		zSig = bSig - aSig
+		zExp = bExp
+		zSign = !zSign
+	default:
+		if aExp == 0xFF {
+			if aSig|bSig != 0 {
+				return c.propagateNaNF32(a, b)
+			}
+			c.Flags |= FlagInvalid
+			return defaultNaN32
+		}
+		if aExp == 0 {
+			aExp, bExp = 1, 1
+		}
+		switch {
+		case aSig > bSig:
+			zSig = aSig - bSig
+			zExp = aExp
+		case bSig > aSig:
+			zSig = bSig - aSig
+			zExp = bExp
+			zSign = !zSign
+		default:
+			return packF32(c.Rounding == RoundDown, 0, 0)
+		}
+	}
+	return c.normalizeRoundAndPackF32(zSign, zExp-1, zSig)
+}
+
+// Add32 returns a + b under the context rounding mode.
+func (c *Context) Add32(a, b F32) F32 {
+	if signF32(a) == signF32(b) {
+		return c.addF32Sigs(a, b, signF32(a))
+	}
+	return c.subF32Sigs(a, b, signF32(a))
+}
+
+// Sub32 returns a - b under the context rounding mode.
+func (c *Context) Sub32(a, b F32) F32 {
+	if signF32(a) == signF32(b) {
+		return c.subF32Sigs(a, b, signF32(a))
+	}
+	return c.addF32Sigs(a, b, signF32(a))
+}
+
+// Mul32 returns a * b under the context rounding mode.
+func (c *Context) Mul32(a, b F32) F32 {
+	aSig, bSig := fracF32(a), fracF32(b)
+	aExp, bExp := expF32(a), expF32(b)
+	zSign := signF32(a) != signF32(b)
+	if aExp == 0xFF {
+		if aSig != 0 || (bExp == 0xFF && bSig != 0) {
+			return c.propagateNaNF32(a, b)
+		}
+		if bExp|int32(bSig) == 0 {
+			c.Flags |= FlagInvalid
+			return defaultNaN32
+		}
+		return packF32(zSign, 0xFF, 0)
+	}
+	if bExp == 0xFF {
+		if bSig != 0 {
+			return c.propagateNaNF32(a, b)
+		}
+		if aExp|int32(aSig) == 0 {
+			c.Flags |= FlagInvalid
+			return defaultNaN32
+		}
+		return packF32(zSign, 0xFF, 0)
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return packF32(zSign, 0, 0)
+		}
+		aExp, aSig = normalizeSubnormalF32(aSig)
+	}
+	if bExp == 0 {
+		if bSig == 0 {
+			return packF32(zSign, 0, 0)
+		}
+		bExp, bSig = normalizeSubnormalF32(bSig)
+	}
+	zExp := aExp + bExp - 0x7F
+	aSig = (aSig | 0x00800000) << 7
+	bSig = (bSig | 0x00800000) << 8
+	p := uint64(aSig) * uint64(bSig)
+	zSig := uint32(p >> 32)
+	if uint32(p) != 0 {
+		zSig |= 1
+	}
+	if int32(zSig<<1) >= 0 {
+		zSig <<= 1
+		zExp--
+	}
+	return c.roundAndPackF32(zSign, zExp, zSig)
+}
+
+// Div32 returns a / b under the context rounding mode.
+func (c *Context) Div32(a, b F32) F32 {
+	aSig, bSig := fracF32(a), fracF32(b)
+	aExp, bExp := expF32(a), expF32(b)
+	zSign := signF32(a) != signF32(b)
+	if aExp == 0xFF {
+		if aSig != 0 {
+			return c.propagateNaNF32(a, b)
+		}
+		if bExp == 0xFF {
+			if bSig != 0 {
+				return c.propagateNaNF32(a, b)
+			}
+			c.Flags |= FlagInvalid
+			return defaultNaN32
+		}
+		return packF32(zSign, 0xFF, 0)
+	}
+	if bExp == 0xFF {
+		if bSig != 0 {
+			return c.propagateNaNF32(a, b)
+		}
+		return packF32(zSign, 0, 0)
+	}
+	if bExp == 0 {
+		if bSig == 0 {
+			if aExp|int32(aSig) == 0 {
+				c.Flags |= FlagInvalid
+				return defaultNaN32
+			}
+			c.Flags |= FlagDivByZero
+			return packF32(zSign, 0xFF, 0)
+		}
+		bExp, bSig = normalizeSubnormalF32(bSig)
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return packF32(zSign, 0, 0)
+		}
+		aExp, aSig = normalizeSubnormalF32(aSig)
+	}
+	zExp := aExp - bExp + 0x7D
+	aSig = (aSig | 0x00800000) << 7
+	bSig = (bSig | 0x00800000) << 8
+	if bSig <= aSig+aSig {
+		aSig >>= 1
+		zExp++
+	}
+	q := uint32((uint64(aSig) << 32) / uint64(bSig))
+	if q&0x3F == 0 {
+		if uint64(bSig)*uint64(q) != uint64(aSig)<<32 {
+			q |= 1
+		}
+	}
+	return c.roundAndPackF32(zSign, zExp, q)
+}
+
+// Sqrt32 returns the square root of a under the context rounding mode.
+func (c *Context) Sqrt32(a F32) F32 {
+	aSig, aExp := fracF32(a), expF32(a)
+	aSign := signF32(a)
+	if aExp == 0xFF {
+		if aSig != 0 {
+			return c.propagateNaNF32(a, a)
+		}
+		if !aSign {
+			return a
+		}
+		c.Flags |= FlagInvalid
+		return defaultNaN32
+	}
+	if aSign {
+		if aExp|int32(aSig) == 0 {
+			return a // sqrt(-0) = -0
+		}
+		c.Flags |= FlagInvalid
+		return defaultNaN32
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return 0
+		}
+		aExp, aSig = normalizeSubnormalF32(aSig)
+	}
+	zExp := (aExp-0x7F)>>1 + 0x7E
+	aSig |= 0x00800000 // 24-bit significand, leading 1 at bit 23
+	// Make the unbiased exponent even by absorbing one doubling into the
+	// significand, then take the exact integer square root of
+	// sig << 37: sig <= 2^25, so the operand fits in 62 bits and the
+	// root lands with its leading 1 at bit 30 — the roundAndPackF32
+	// convention.
+	if (aExp-0x7F)&1 != 0 {
+		aSig <<= 1
+	}
+	operand := uint64(aSig) << 37
+	root := isqrt64(operand)
+	if root*root != operand {
+		root |= 1
+	}
+	return c.roundAndPackF32(false, zExp, uint32(root))
+}
+
+// Eq32 reports a == b (IEEE: NaN compares unequal; raises Invalid only
+// for signaling NaNs).
+func (c *Context) Eq32(a, b F32) bool {
+	if IsNaN32(a) || IsNaN32(b) {
+		if IsSignalingNaN32(a) || IsSignalingNaN32(b) {
+			c.Flags |= FlagInvalid
+		}
+		return false
+	}
+	return a == b || (a|b)<<1 == 0 // +0 == -0
+}
+
+// Lt32 reports a < b (IEEE: any NaN operand raises Invalid, result false).
+func (c *Context) Lt32(a, b F32) bool {
+	if IsNaN32(a) || IsNaN32(b) {
+		c.Flags |= FlagInvalid
+		return false
+	}
+	aSign, bSign := signF32(a), signF32(b)
+	if aSign != bSign {
+		return aSign && (a|b)<<1 != 0
+	}
+	if aSign {
+		return b < a
+	}
+	return a < b
+}
+
+// Le32 reports a <= b (IEEE: any NaN operand raises Invalid, result false).
+func (c *Context) Le32(a, b F32) bool {
+	if IsNaN32(a) || IsNaN32(b) {
+		c.Flags |= FlagInvalid
+		return false
+	}
+	aSign, bSign := signF32(a), signF32(b)
+	if aSign != bSign {
+		return aSign || (a|b)<<1 == 0
+	}
+	if aSign {
+		return b <= a
+	}
+	return a <= b
+}
+
+// IntToF32 converts a signed 32-bit integer to binary32, rounding under
+// the context mode when the magnitude exceeds 24 bits.
+func (c *Context) IntToF32(v int32) F32 {
+	if v == 0 {
+		return 0
+	}
+	if v == -0x80000000 {
+		return packF32(true, 0x9E, 0) // exactly -2^31
+	}
+	sign := v < 0
+	var abs uint32
+	if sign {
+		abs = uint32(-v)
+	} else {
+		abs = uint32(v)
+	}
+	return c.normalizeRoundAndPackF32(sign, 0x9C, abs)
+}
+
+// F32ToInt converts a binary32 value to a signed 32-bit integer under the
+// context rounding mode, raising Invalid (and returning the clamped
+// extreme) on NaN or overflow.
+func (c *Context) F32ToInt(a F32) int32 {
+	aSig, aExp := fracF32(a), expF32(a)
+	aSign := signF32(a)
+	if aExp == 0xFF && aSig != 0 {
+		c.Flags |= FlagInvalid
+		return -0x80000000
+	}
+	if aExp != 0 {
+		aSig |= 0x00800000
+	}
+	// Value = aSig * 2^(aExp-150). Align into a 64-bit fixed-point with
+	// 32 fractional bits.
+	shiftCount := int(aExp) - 0x96 // aExp - 150
+	var abs uint64
+	switch {
+	case shiftCount >= 8:
+		// |a| >= 2^31 always overflows except -2^31 exactly.
+		if !(aSign && aExp == 0x9E && aSig == 0x00800000) {
+			c.Flags |= FlagInvalid
+			if aSign {
+				return -0x80000000
+			}
+			return 0x7FFFFFFF
+		}
+		return -0x80000000
+	case shiftCount >= 0:
+		abs = uint64(aSig) << uint(shiftCount+32)
+	default:
+		abs = shift64RightJamming(uint64(aSig)<<32, -shiftCount)
+	}
+	return c.roundFixedToInt(aSign, abs)
+}
+
+// roundFixedToInt rounds a 32.32 unsigned fixed-point magnitude to an
+// int32 with the given sign under the context rounding mode.
+func (c *Context) roundFixedToInt(sign bool, fx uint64) int32 {
+	ip := fx >> 32
+	fp := uint32(fx)
+	var incr bool
+	switch c.Rounding {
+	case RoundNearestEven:
+		incr = fp > 0x80000000 || (fp == 0x80000000 && ip&1 != 0)
+	case RoundToZero:
+		incr = false
+	case RoundDown:
+		incr = sign && fp != 0
+	case RoundUp:
+		incr = !sign && fp != 0
+	}
+	if incr {
+		ip++
+	}
+	if fp != 0 {
+		c.Flags |= FlagInexact
+	}
+	if sign {
+		if ip > 0x80000000 {
+			c.Flags |= FlagInvalid
+			return -0x80000000
+		}
+		return int32(-ip)
+	}
+	if ip > 0x7FFFFFFF {
+		c.Flags |= FlagInvalid
+		return 0x7FFFFFFF
+	}
+	return int32(ip)
+}

@@ -1,0 +1,549 @@
+package softfloat
+
+import "math/bits"
+
+// binary64 operations, same structure as the binary32 file: the
+// roundAndPackF64 significand convention is leading 1 at bit 62 with 10
+// rounding bits at the bottom, exponent one less than the true biased
+// exponent.
+
+func packF64(sign bool, exp int64, sig uint64) F64 {
+	s := uint64(0)
+	if sign {
+		s = 1
+	}
+	return F64(s<<63 + uint64(exp)<<52 + sig)
+}
+
+func signF64(a F64) bool   { return a>>63 != 0 }
+func expF64(a F64) int64   { return int64(a>>52) & 0x7FF }
+func fracF64(a F64) uint64 { return uint64(a) & 0x000FFFFFFFFFFFFF }
+
+// IsNaN64 reports whether a is a NaN of either kind.
+func IsNaN64(a F64) bool { return expF64(a) == 0x7FF && fracF64(a) != 0 }
+
+// IsInf64 reports whether a is +Inf or -Inf.
+func IsInf64(a F64) bool { return expF64(a) == 0x7FF && fracF64(a) == 0 }
+
+// IsSignalingNaN64 reports whether a is a signaling NaN.
+func IsSignalingNaN64(a F64) bool {
+	return expF64(a) == 0x7FF && fracF64(a) != 0 && a&0x0008000000000000 == 0
+}
+
+func (c *Context) propagateNaNF64(a, b F64) F64 {
+	if IsSignalingNaN64(a) || IsSignalingNaN64(b) {
+		c.Flags |= FlagInvalid
+	}
+	if IsNaN64(a) {
+		return a | 0x0008000000000000
+	}
+	if IsNaN64(b) {
+		return b | 0x0008000000000000
+	}
+	return defaultNaN64
+}
+
+func normalizeSubnormalF64(sig uint64) (exp int64, outSig uint64) {
+	shift := bits.LeadingZeros64(sig) - 11
+	return 1 - int64(shift), sig << uint(shift)
+}
+
+// roundAndPackF64 rounds a significand (leading 1 at bit 62, 10 round
+// bits) under the context rounding mode and packs the result.
+func (c *Context) roundAndPackF64(sign bool, exp int64, sig uint64) F64 {
+	nearestEven := c.Rounding == RoundNearestEven
+	var inc uint64 = 0x200
+	if !nearestEven {
+		switch {
+		case c.Rounding == RoundToZero:
+			inc = 0
+		case sign:
+			if c.Rounding == RoundDown {
+				inc = 0x3FF
+			} else {
+				inc = 0
+			}
+		default:
+			if c.Rounding == RoundUp {
+				inc = 0x3FF
+			} else {
+				inc = 0
+			}
+		}
+	}
+	roundBits := sig & 0x3FF
+	if uint64(exp) >= 0x7FD {
+		if exp > 0x7FD || (exp == 0x7FD && int64(sig+inc) < 0) {
+			c.Flags |= FlagOverflow | FlagInexact
+			r := packF64(sign, 0x7FF, 0)
+			if inc == 0 {
+				r--
+			}
+			return r
+		}
+		if exp < 0 {
+			isTiny := exp < -1 || sig+inc < 0x8000000000000000
+			sig = shift64RightJamming(sig, int(-exp))
+			exp = 0
+			roundBits = sig & 0x3FF
+			if isTiny && roundBits != 0 {
+				c.Flags |= FlagUnderflow
+			}
+		}
+	}
+	if roundBits != 0 {
+		c.Flags |= FlagInexact
+	}
+	sig = (sig + inc) >> 10
+	if roundBits^0x200 == 0 && nearestEven {
+		sig &^= 1
+	}
+	if sig == 0 {
+		exp = 0
+	}
+	return packF64(sign, exp, sig)
+}
+
+func (c *Context) normalizeRoundAndPackF64(sign bool, exp int64, sig uint64) F64 {
+	shift := bits.LeadingZeros64(sig) - 1
+	return c.roundAndPackF64(sign, exp-int64(shift), sig<<uint(shift))
+}
+
+func (c *Context) addF64Sigs(a, b F64, zSign bool) F64 {
+	aSig, bSig := fracF64(a), fracF64(b)
+	aExp, bExp := expF64(a), expF64(b)
+	expDiff := aExp - bExp
+	aSig <<= 9
+	bSig <<= 9
+	var zExp int64
+	var zSig uint64
+	switch {
+	case expDiff > 0:
+		if aExp == 0x7FF {
+			if aSig != 0 {
+				return c.propagateNaNF64(a, b)
+			}
+			return a
+		}
+		if bExp == 0 {
+			expDiff--
+		} else {
+			bSig |= 0x2000000000000000
+		}
+		bSig = shift64RightJamming(bSig, int(expDiff))
+		zExp = aExp
+	case expDiff < 0:
+		if bExp == 0x7FF {
+			if bSig != 0 {
+				return c.propagateNaNF64(a, b)
+			}
+			return packF64(zSign, 0x7FF, 0)
+		}
+		if aExp == 0 {
+			expDiff++
+		} else {
+			aSig |= 0x2000000000000000
+		}
+		aSig = shift64RightJamming(aSig, int(-expDiff))
+		zExp = bExp
+	default:
+		if aExp == 0x7FF {
+			if aSig|bSig != 0 {
+				return c.propagateNaNF64(a, b)
+			}
+			return a
+		}
+		if aExp == 0 {
+			return packF64(zSign, 0, (aSig+bSig)>>9)
+		}
+		zSig = 0x4000000000000000 + aSig + bSig
+		return c.roundAndPackF64(zSign, aExp, zSig)
+	}
+	aSig |= 0x2000000000000000
+	zSig = (aSig + bSig) << 1
+	zExp--
+	if int64(zSig) < 0 {
+		zSig = aSig + bSig
+		zExp++
+	}
+	return c.roundAndPackF64(zSign, zExp, zSig)
+}
+
+func (c *Context) subF64Sigs(a, b F64, zSign bool) F64 {
+	aSig, bSig := fracF64(a), fracF64(b)
+	aExp, bExp := expF64(a), expF64(b)
+	expDiff := aExp - bExp
+	aSig <<= 10
+	bSig <<= 10
+	var zExp int64
+	var zSig uint64
+	switch {
+	case expDiff > 0:
+		if aExp == 0x7FF {
+			if aSig != 0 {
+				return c.propagateNaNF64(a, b)
+			}
+			return a
+		}
+		if bExp == 0 {
+			expDiff--
+		} else {
+			bSig |= 0x4000000000000000
+		}
+		bSig = shift64RightJamming(bSig, int(expDiff))
+		aSig |= 0x4000000000000000
+		zSig = aSig - bSig
+		zExp = aExp
+	case expDiff < 0:
+		if bExp == 0x7FF {
+			if bSig != 0 {
+				return c.propagateNaNF64(a, b)
+			}
+			return packF64(!zSign, 0x7FF, 0)
+		}
+		if aExp == 0 {
+			expDiff++
+		} else {
+			aSig |= 0x4000000000000000
+		}
+		aSig = shift64RightJamming(aSig, int(-expDiff))
+		bSig |= 0x4000000000000000
+		zSig = bSig - aSig
+		zExp = bExp
+		zSign = !zSign
+	default:
+		if aExp == 0x7FF {
+			if aSig|bSig != 0 {
+				return c.propagateNaNF64(a, b)
+			}
+			c.Flags |= FlagInvalid
+			return defaultNaN64
+		}
+		if aExp == 0 {
+			aExp, bExp = 1, 1
+		}
+		switch {
+		case aSig > bSig:
+			zSig = aSig - bSig
+			zExp = aExp
+		case bSig > aSig:
+			zSig = bSig - aSig
+			zExp = bExp
+			zSign = !zSign
+		default:
+			return packF64(c.Rounding == RoundDown, 0, 0)
+		}
+	}
+	return c.normalizeRoundAndPackF64(zSign, zExp-1, zSig)
+}
+
+// Add64 returns a + b under the context rounding mode.
+func (c *Context) Add64(a, b F64) F64 {
+	if signF64(a) == signF64(b) {
+		return c.addF64Sigs(a, b, signF64(a))
+	}
+	return c.subF64Sigs(a, b, signF64(a))
+}
+
+// Sub64 returns a - b under the context rounding mode.
+func (c *Context) Sub64(a, b F64) F64 {
+	if signF64(a) == signF64(b) {
+		return c.subF64Sigs(a, b, signF64(a))
+	}
+	return c.addF64Sigs(a, b, signF64(a))
+}
+
+// Mul64 returns a * b under the context rounding mode.
+func (c *Context) Mul64(a, b F64) F64 {
+	aSig, bSig := fracF64(a), fracF64(b)
+	aExp, bExp := expF64(a), expF64(b)
+	zSign := signF64(a) != signF64(b)
+	if aExp == 0x7FF {
+		if aSig != 0 || (bExp == 0x7FF && bSig != 0) {
+			return c.propagateNaNF64(a, b)
+		}
+		if bExp == 0 && bSig == 0 {
+			c.Flags |= FlagInvalid
+			return defaultNaN64
+		}
+		return packF64(zSign, 0x7FF, 0)
+	}
+	if bExp == 0x7FF {
+		if bSig != 0 {
+			return c.propagateNaNF64(a, b)
+		}
+		if aExp == 0 && aSig == 0 {
+			c.Flags |= FlagInvalid
+			return defaultNaN64
+		}
+		return packF64(zSign, 0x7FF, 0)
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return packF64(zSign, 0, 0)
+		}
+		aExp, aSig = normalizeSubnormalF64(aSig)
+	}
+	if bExp == 0 {
+		if bSig == 0 {
+			return packF64(zSign, 0, 0)
+		}
+		bExp, bSig = normalizeSubnormalF64(bSig)
+	}
+	zExp := aExp + bExp - 0x3FF
+	aSig = (aSig | 0x0010000000000000) << 10
+	bSig = (bSig | 0x0010000000000000) << 11
+	hi, lo := bits.Mul64(aSig, bSig)
+	zSig := hi
+	if lo != 0 {
+		zSig |= 1
+	}
+	if int64(zSig<<1) >= 0 {
+		zSig <<= 1
+		zExp--
+	}
+	return c.roundAndPackF64(zSign, zExp, zSig)
+}
+
+// Div64 returns a / b under the context rounding mode.
+func (c *Context) Div64(a, b F64) F64 {
+	aSig, bSig := fracF64(a), fracF64(b)
+	aExp, bExp := expF64(a), expF64(b)
+	zSign := signF64(a) != signF64(b)
+	if aExp == 0x7FF {
+		if aSig != 0 {
+			return c.propagateNaNF64(a, b)
+		}
+		if bExp == 0x7FF {
+			if bSig != 0 {
+				return c.propagateNaNF64(a, b)
+			}
+			c.Flags |= FlagInvalid
+			return defaultNaN64
+		}
+		return packF64(zSign, 0x7FF, 0)
+	}
+	if bExp == 0x7FF {
+		if bSig != 0 {
+			return c.propagateNaNF64(a, b)
+		}
+		return packF64(zSign, 0, 0)
+	}
+	if bExp == 0 {
+		if bSig == 0 {
+			if aExp == 0 && aSig == 0 {
+				c.Flags |= FlagInvalid
+				return defaultNaN64
+			}
+			c.Flags |= FlagDivByZero
+			return packF64(zSign, 0x7FF, 0)
+		}
+		bExp, bSig = normalizeSubnormalF64(bSig)
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return packF64(zSign, 0, 0)
+		}
+		aExp, aSig = normalizeSubnormalF64(aSig)
+	}
+	zExp := aExp - bExp + 0x3FD
+	aSig = (aSig | 0x0010000000000000) << 10
+	bSig = (bSig | 0x0010000000000000) << 11
+	if bSig <= aSig+aSig {
+		aSig >>= 1
+		zExp++
+	}
+	q, r := bits.Div64(aSig, 0, bSig)
+	if r != 0 {
+		q |= 1
+	}
+	return c.roundAndPackF64(zSign, zExp, q)
+}
+
+// Sqrt64 returns the square root of a under the context rounding mode.
+func (c *Context) Sqrt64(a F64) F64 {
+	aSig, aExp := fracF64(a), expF64(a)
+	aSign := signF64(a)
+	if aExp == 0x7FF {
+		if aSig != 0 {
+			return c.propagateNaNF64(a, a)
+		}
+		if !aSign {
+			return a
+		}
+		c.Flags |= FlagInvalid
+		return defaultNaN64
+	}
+	if aSign {
+		if aExp == 0 && aSig == 0 {
+			return a // sqrt(-0) = -0
+		}
+		c.Flags |= FlagInvalid
+		return defaultNaN64
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return 0
+		}
+		aExp, aSig = normalizeSubnormalF64(aSig)
+	}
+	zExp := (aExp-0x3FF)>>1 + 0x3FE
+	aSig |= 0x0010000000000000 // 53-bit significand, leading 1 at bit 52
+	if (aExp-0x3FF)&1 != 0 {
+		aSig <<= 1
+	}
+	// Exact integer square root of aSig << 72 lands with its leading 1 at
+	// bit 62 — the roundAndPackF64 convention. aSig <= 2^54, so the
+	// 128-bit operand is aSig·2^72 <= 2^126.
+	hi := aSig << 8 // top 64 bits of aSig << 72
+	lo := uint64(0) // aSig has at most 54 bits, so << 72 has zero low word beyond hi
+	root, remNZ := isqrt128(hi, lo)
+	if remNZ {
+		root |= 1
+	}
+	return c.roundAndPackF64(false, zExp, root)
+}
+
+// Eq64 reports a == b (IEEE semantics; +0 == -0, NaN unequal).
+func (c *Context) Eq64(a, b F64) bool {
+	if IsNaN64(a) || IsNaN64(b) {
+		if IsSignalingNaN64(a) || IsSignalingNaN64(b) {
+			c.Flags |= FlagInvalid
+		}
+		return false
+	}
+	return a == b || (a|b)<<1 == 0
+}
+
+// Lt64 reports a < b (IEEE semantics; any NaN raises Invalid).
+func (c *Context) Lt64(a, b F64) bool {
+	if IsNaN64(a) || IsNaN64(b) {
+		c.Flags |= FlagInvalid
+		return false
+	}
+	aSign, bSign := signF64(a), signF64(b)
+	if aSign != bSign {
+		return aSign && (a|b)<<1 != 0
+	}
+	if aSign {
+		return b < a
+	}
+	return a < b
+}
+
+// Le64 reports a <= b (IEEE semantics; any NaN raises Invalid).
+func (c *Context) Le64(a, b F64) bool {
+	if IsNaN64(a) || IsNaN64(b) {
+		c.Flags |= FlagInvalid
+		return false
+	}
+	aSign, bSign := signF64(a), signF64(b)
+	if aSign != bSign {
+		return aSign || (a|b)<<1 == 0
+	}
+	if aSign {
+		return b <= a
+	}
+	return a <= b
+}
+
+// IntToF64 converts a signed 32-bit integer to binary64 (always exact).
+func (c *Context) IntToF64(v int32) F64 {
+	if v == 0 {
+		return 0
+	}
+	sign := v < 0
+	var abs uint64
+	if sign {
+		abs = uint64(-int64(v))
+	} else {
+		abs = uint64(v)
+	}
+	shift := bits.LeadingZeros64(abs) - 11
+	return packF64(sign, int64(0x433-shift), abs<<uint(shift)&0x000FFFFFFFFFFFFF)
+}
+
+// F64ToInt converts a binary64 value to int32 under the context rounding
+// mode, raising Invalid (and clamping) on NaN or overflow.
+func (c *Context) F64ToInt(a F64) int32 {
+	aSig, aExp := fracF64(a), expF64(a)
+	aSign := signF64(a)
+	if aExp == 0x7FF && aSig != 0 {
+		c.Flags |= FlagInvalid
+		return -0x80000000
+	}
+	if aExp != 0 {
+		aSig |= 0x0010000000000000
+	}
+	// Value = aSig * 2^(aExp-1075). Align to 32.32 fixed point.
+	shiftCount := int(aExp) - 0x433 + 32 // target: aSig << 32 scaling
+	var abs uint64
+	switch {
+	case shiftCount > 10:
+		if !(aSign && aExp == 0x41E && aSig == 0x0010000000000000) {
+			c.Flags |= FlagInvalid
+			if aSign {
+				return -0x80000000
+			}
+			return 0x7FFFFFFF
+		}
+		return -0x80000000
+	case shiftCount >= 0:
+		abs = aSig << uint(shiftCount)
+	default:
+		abs = shift64RightJamming(aSig, -shiftCount)
+	}
+	return c.roundFixedToInt(aSign, abs)
+}
+
+// F32ToF64 widens a binary32 value to binary64 (always exact).
+func (c *Context) F32ToF64(a F32) F64 {
+	aSig, aExp := fracF32(a), expF32(a)
+	aSign := signF32(a)
+	if aExp == 0xFF {
+		if aSig != 0 {
+			return c.propagateNaNF64(F64(aSign2u64(aSign)<<63|0x7FF0000000000000|uint64(aSig)<<29), 0)
+		}
+		return packF64(aSign, 0x7FF, 0)
+	}
+	if aExp == 0 {
+		if aSig == 0 {
+			return packF64(aSign, 0, 0)
+		}
+		e, s := normalizeSubnormalF32(aSig)
+		aExp = e - 1
+		aSig = s & 0x007FFFFF // strip the leading 1; pack re-adds via exponent
+		return packF64(aSign, int64(aExp)+0x380+1, uint64(aSig)<<29)
+	}
+	return packF64(aSign, int64(aExp)+0x380, uint64(aSig)<<29)
+}
+
+func aSign2u64(s bool) uint64 {
+	if s {
+		return 1
+	}
+	return 0
+}
+
+// F64ToF32 narrows a binary64 value to binary32 under the context
+// rounding mode.
+func (c *Context) F64ToF32(a F64) F32 {
+	aSig, aExp := fracF64(a), expF64(a)
+	aSign := signF64(a)
+	if aExp == 0x7FF {
+		if aSig != 0 {
+			// Quiet the NaN and narrow its payload.
+			if IsSignalingNaN64(a) {
+				c.Flags |= FlagInvalid
+			}
+			return packF32(aSign, 0xFF, 0x00400000|uint32(aSig>>29)&0x003FFFFF)
+		}
+		return packF32(aSign, 0xFF, 0)
+	}
+	sig := uint32(shift64RightJamming(aSig, 22))
+	if aExp != 0 || sig != 0 {
+		sig |= 0x40000000
+		aExp -= 0x381
+	}
+	return c.roundAndPackF32(aSign, int32(aExp), sig)
+}

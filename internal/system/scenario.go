@@ -1,0 +1,56 @@
+package system
+
+import (
+	"boresight/internal/geom"
+	"boresight/internal/traj"
+)
+
+// Standard scenarios matching the paper's test procedures (Section 11).
+
+// StaticTestPoses is the platform orientation schedule of the static
+// tests: level for pitch observability, tilted for roll and yaw.
+func StaticTestPoses(dur float64) traj.PoseSequence {
+	poses := []geom.Euler{
+		geom.EulerDeg(0, 0, 0),
+		geom.EulerDeg(0, 20, 0),
+		geom.EulerDeg(0, -20, 0),
+		geom.EulerDeg(20, 0, 0),
+		geom.EulerDeg(-20, 0, 0),
+		geom.EulerDeg(15, 15, 0),
+	}
+	return traj.PoseSequence{
+		Poses: poses,
+		Dwell: dur / float64(len(poses)),
+		Label: "static-test",
+	}
+}
+
+// StaticScenario builds a full static-test configuration: tilting
+// platform schedule over dur seconds, instrument-noise-level
+// measurement noise (the paper's 0.003–0.01 m/s² band), no vibration.
+func StaticScenario(mis geom.Euler, dur float64, seed int64) Config {
+	cfg := DefaultConfig(StaticTestPoses(dur), mis)
+	cfg.Filter.MeasNoise = 0.01
+	cfg.Seed = seed
+	return cfg
+}
+
+// DynamicScenario builds a driving-test configuration: city drive,
+// vehicle vibration on, measurement noise raised to the paper's moving
+// value (≥ 0.015 m/s²).
+func DynamicScenario(mis geom.Euler, dur float64, seed int64) Config {
+	cfg := DefaultConfig(traj.CityDrive("dynamic-test", dur), mis)
+	cfg.Vibrate = true
+	cfg.Filter.MeasNoise = 0.02
+	cfg.Seed = seed
+	return cfg
+}
+
+// DynamicScenarioUntuned is the dynamic test run with the *static*
+// measurement noise — the misconfiguration the paper's Figure 8
+// (bottom) exhibits, where residuals burst through the 3σ envelope.
+func DynamicScenarioUntuned(mis geom.Euler, dur float64, seed int64) Config {
+	cfg := DynamicScenario(mis, dur, seed)
+	cfg.Filter.MeasNoise = 0.005
+	return cfg
+}

@@ -1,0 +1,147 @@
+package video
+
+import "math"
+
+// RoadScene renders a synthetic forward-camera view: sky, road surface
+// with perspective lane markings, a horizon line and roadside posts.
+// It is the stand-in for the paper's camera input — structured enough
+// that misalignment is visible and alignment error measurable.
+//
+// The scene is parameterised by a horizontal offset (lane position) so
+// animated sequences can be produced for the stabilisation demo.
+type RoadScene struct {
+	W, H int
+	// LaneOffset shifts the lane markings horizontally (pixels at the
+	// bottom edge) to animate motion.
+	LaneOffset float64
+}
+
+// Standard scene colours.
+var (
+	skyColor    = RGB(110, 150, 210)
+	roadColor   = RGB(78, 78, 82)
+	grassColor  = RGB(60, 120, 58)
+	laneColor   = RGB(235, 225, 90)
+	edgeColor   = RGB(240, 240, 240)
+	postColor   = RGB(180, 60, 50)
+	horizonGlow = RGB(170, 190, 225)
+)
+
+// Render draws the scene into a new frame.
+func (s RoadScene) Render() *Frame {
+	f := NewFrame(s.W, s.H)
+	horizon := s.H * 2 / 5
+	cx := float64(s.W) / 2
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			if y < horizon {
+				// Sky with a glow band just above the horizon.
+				if horizon-y < s.H/24 {
+					f.Set(x, y, horizonGlow)
+				} else {
+					f.Set(x, y, skyColor)
+				}
+				continue
+			}
+			// Perspective depth: 0 at horizon, 1 at the bottom.
+			depth := float64(y-horizon) / float64(s.H-horizon)
+			// Road half-width grows linearly with depth.
+			halfW := 0.06*float64(s.W) + depth*0.42*float64(s.W)
+			dx := float64(x) - cx
+			switch {
+			case math.Abs(dx) > halfW:
+				f.Set(x, y, grassColor)
+			case math.Abs(math.Abs(dx)-halfW) < 1.5+2.5*depth:
+				f.Set(x, y, edgeColor)
+			default:
+				f.Set(x, y, roadColor)
+			}
+		}
+	}
+	// Centre dashed lane marking with perspective spacing and the
+	// configured offset.
+	for y := horizon; y < s.H; y++ {
+		depth := float64(y-horizon) / float64(s.H-horizon)
+		if depth <= 0 {
+			continue
+		}
+		// Dash pattern in "world" distance: use 1/depth as distance proxy.
+		world := 4 / (depth + 0.05)
+		if math.Mod(world, 2.4) > 1.2 {
+			continue
+		}
+		w := 1 + 3*depth
+		cxm := cx + s.LaneOffset*depth
+		for x := int(cxm - w); x <= int(cxm+w); x++ {
+			f.Set(x, y, laneColor)
+		}
+	}
+	// Roadside posts at fixed depths.
+	for _, depth := range []float64{0.25, 0.5, 0.8} {
+		y := horizon + int(depth*float64(s.H-horizon))
+		halfW := 0.06*float64(s.W) + depth*0.42*float64(s.W)
+		h := int(6 + 24*depth)
+		for _, side := range []float64{-1, 1} {
+			px := int(cx + side*(halfW+4+6*depth))
+			for yy := y - h; yy <= y; yy++ {
+				f.Set(px, yy, postColor)
+				f.Set(px+1, yy, postColor)
+			}
+		}
+	}
+	return f
+}
+
+// Checkerboard renders a calibration-target pattern, useful for
+// measuring the affine pipeline's geometric accuracy (sharp corners at
+// known positions).
+func Checkerboard(w, h, cell int) *Frame {
+	f := NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if (x/cell+y/cell)%2 == 0 {
+				f.Set(x, y, RGB(255, 255, 255))
+			} else {
+				f.Set(x, y, RGB(0, 0, 0))
+			}
+		}
+	}
+	return f
+}
+
+// PSNR returns the peak signal-to-noise ratio between two equally sized
+// frames in dB (+Inf for identical frames).
+func PSNR(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("video: PSNR size mismatch")
+	}
+	var se float64
+	for i := range a.Pix {
+		pa, pb := a.Pix[i], b.Pix[i]
+		dr := float64(pa.R()) - float64(pb.R())
+		dg := float64(pa.G()) - float64(pb.G())
+		db := float64(pa.B()) - float64(pb.B())
+		se += dr*dr + dg*dg + db*db
+	}
+	mse := se / float64(3*len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// MeanAbsDiff returns the mean absolute per-channel difference between
+// two frames — a simpler alignment-error metric than PSNR.
+func MeanAbsDiff(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("video: MeanAbsDiff size mismatch")
+	}
+	var sum float64
+	for i := range a.Pix {
+		pa, pb := a.Pix[i], b.Pix[i]
+		sum += math.Abs(float64(pa.R())-float64(pb.R())) +
+			math.Abs(float64(pa.G())-float64(pb.G())) +
+			math.Abs(float64(pa.B())-float64(pb.B()))
+	}
+	return sum / float64(3*len(a.Pix))
+}
