@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments demo clean
+.PHONY: all build vet test race fuzz bench experiments demo clean
 
 all: build vet test
 
@@ -14,6 +14,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The deterministic-replay harness under the race detector: proves the
+# worker-pool experiment runner and the banded renderers are parallel
+# AND bit-for-bit reproducible.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the ADXL202 duty-cycle codec round-trip.
+fuzz:
+	$(GO) test -fuzz=FuzzDutyCycleCodec -fuzztime=30s ./internal/imu/
 
 # Every paper table/figure and ablation as a benchmark, with logs.
 bench:

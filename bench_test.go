@@ -10,11 +10,15 @@ package bench
 import (
 	"flag"
 	"io"
+	"runtime"
 	"testing"
 
+	"boresight/internal/affine"
 	"boresight/internal/experiments"
+	"boresight/internal/fixed"
 	"boresight/internal/geom"
 	"boresight/internal/system"
+	"boresight/internal/video"
 )
 
 var benchDur = flag.Float64("bench-dur", 60, "simulated seconds per boresight run in benchmarks")
@@ -93,7 +97,7 @@ func BenchmarkFig9Convergence(b *testing.B) {
 // accuracy (Section 12's fixed-point-conversion remark).
 func BenchmarkAblationFixedPoint(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.AblationFixedPoint(io.Discard)
+		rows := experiments.AblationFixedPoint(io.Discard, 0)
 		if i == 0 {
 			b.Logf("PSNR at %g°: %.1f dB; at %g°: %.1f dB",
 				rows[0].AngleDeg, rows[0].PSNRdB,
@@ -106,7 +110,7 @@ func BenchmarkAblationFixedPoint(b *testing.B) {
 // paper's 1024 entries.
 func BenchmarkAblationLUTSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.AblationLUTSize(io.Discard)
+		rows := experiments.AblationLUTSize(io.Discard, 0)
 		if i == 0 {
 			for _, r := range rows {
 				if r.Size == 1024 {
@@ -121,7 +125,7 @@ func BenchmarkAblationLUTSize(b *testing.B) {
 // the paper's 0.003–0.05 m/s² range on the dynamic test.
 func BenchmarkAblationNoiseSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationNoiseSweep(io.Discard, *benchDur)
+		rows, err := experiments.AblationNoiseSweep(io.Discard, *benchDur, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +157,7 @@ func BenchmarkAblationSabreSoftfloat(b *testing.B) {
 // uncalibrated, biased instruments.
 func BenchmarkAblationStateModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationStateModel(io.Discard, *benchDur)
+		rows, err := experiments.AblationStateModel(io.Discard, *benchDur, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +173,7 @@ func BenchmarkAblationStateModel(b *testing.B) {
 // 12's "time allowed for the filter").
 func BenchmarkAblationRunLength(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.AblationRunLength(io.Discard)
+		rows, err := experiments.AblationRunLength(io.Discard, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -215,7 +219,7 @@ func BenchmarkAblationVehicleData(b *testing.B) {
 // the paper's "99% confidence" claim over repeated seeded trials.
 func BenchmarkMonteCarloCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st, dy, err := experiments.MonteCarlo(io.Discard, 10, *benchDur)
+		st, dy, err := experiments.MonteCarlo(io.Discard, 10, *benchDur, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,3 +261,58 @@ func BenchmarkBumpRealignment(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkMonteCarloWorkers runs the Monte Carlo study at a fixed
+// worker-pool size. The trials and duration are fixed (not *benchDur)
+// so the Workers1/4/N series are directly comparable: same work, only
+// the pool size changes, and the deterministic seed-per-trial scheme
+// guarantees identical aggregate statistics at every size.
+func benchmarkMonteCarloWorkers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		st, dy, err := experiments.MonteCarlo(io.Discard, 8, 30, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("workers=%d (0 = all %d CPUs): static coverage %.1f%%, dynamic coverage %.1f%%, mean err %.4f°/%.4f°",
+				workers, runtime.GOMAXPROCS(0),
+				100*st.Coverage, 100*dy.Coverage, st.MeanErrDeg, dy.MeanErrDeg)
+		}
+	}
+}
+
+// BenchmarkMonteCarloWorkers1 is the serial baseline of the trial
+// runner; compare its ns/op against Workers4 / WorkersN for the
+// speedup (the logged statistics must not move at all).
+func BenchmarkMonteCarloWorkers1(b *testing.B) { benchmarkMonteCarloWorkers(b, 1) }
+
+// BenchmarkMonteCarloWorkers4 runs the same study on a 4-worker pool.
+func BenchmarkMonteCarloWorkers4(b *testing.B) { benchmarkMonteCarloWorkers(b, 4) }
+
+// BenchmarkMonteCarloWorkersN runs the same study with one worker per
+// CPU.
+func BenchmarkMonteCarloWorkersN(b *testing.B) { benchmarkMonteCarloWorkers(b, 0) }
+
+// benchmarkAffine transforms a VGA road scene through both banded
+// paths (float64 reference, then the fixed-point datapath) at a fixed
+// worker count.
+func benchmarkAffine(b *testing.B, workers int) {
+	src := video.RoadScene{W: 640, H: 480}.RenderWorkers(workers)
+	ft := affine.NewFixedTransformer(fixed.NewTrig(1024, fixed.TrigFrac))
+	p := affine.Params{Theta: geom.Deg2Rad(3.3), TX: 4, TY: -2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl := affine.TransformFloatWorkers(src, p, false, workers)
+		fx := ft.TransformWorkers(src, p, workers)
+		if i == 0 {
+			b.Logf("workers=%d: mean |fixed−float| %.3f", workers, video.MeanAbsDiff(fx, fl))
+		}
+	}
+}
+
+// BenchmarkAffineSerial is the one-worker scanline baseline.
+func BenchmarkAffineSerial(b *testing.B) { benchmarkAffine(b, 1) }
+
+// BenchmarkAffineParallel renders the same frames banded across all
+// CPUs; output is bit-identical to the serial baseline.
+func BenchmarkAffineParallel(b *testing.B) { benchmarkAffine(b, 0) }

@@ -20,15 +20,16 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: table1, fig8, fig9, montecarlo, ablations, all")
 	dur := flag.Float64("dur", 300, "test duration in seconds (the paper uses 300)")
 	csvDir := flag.String("csv", "", "directory for CSV dumps of the figure data (optional)")
+	workers := flag.Int("workers", 0, "worker-pool size for the parallel experiments (<= 0 = one per CPU); results are identical at every setting")
 	flag.Parse()
 
-	if err := realMain(*run, *dur, *csvDir); err != nil {
+	if err := realMain(*run, *dur, *csvDir, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(run string, dur float64, csvDir string) error {
+func realMain(run string, dur float64, csvDir string, workers int) error {
 	out := os.Stdout
 	doTable1 := run == "table1" || run == "all"
 	doFig8 := run == "fig8" || run == "all"
@@ -40,7 +41,7 @@ func realMain(run string, dur float64, csvDir string) error {
 	}
 
 	if doTable1 {
-		if _, err := experiments.Table1(out, dur); err != nil {
+		if _, err := experiments.Table1(out, dur, workers); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
@@ -90,17 +91,17 @@ func realMain(run string, dur float64, csvDir string) error {
 		fmt.Fprintln(out)
 	}
 	if doMC {
-		if _, _, err := experiments.MonteCarlo(out, 20, min(dur, 120)); err != nil {
+		if _, _, err := experiments.MonteCarlo(out, 20, min(dur, 120), workers); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
 	}
 	if doAbl {
-		experiments.AblationFixedPoint(out)
+		experiments.AblationFixedPoint(out, workers)
 		fmt.Fprintln(out)
-		experiments.AblationLUTSize(out)
+		experiments.AblationLUTSize(out, workers)
 		fmt.Fprintln(out)
-		if _, err := experiments.AblationNoiseSweep(out, min(dur, 120)); err != nil {
+		if _, err := experiments.AblationNoiseSweep(out, min(dur, 120), workers); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
@@ -108,11 +109,11 @@ func realMain(run string, dur float64, csvDir string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		if _, err := experiments.AblationStateModel(out, min(dur, 120)); err != nil {
+		if _, err := experiments.AblationStateModel(out, min(dur, 120), workers); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
-		if _, err := experiments.AblationRunLength(out); err != nil {
+		if _, err := experiments.AblationRunLength(out, workers); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -17,6 +17,7 @@ import (
 
 	"boresight/internal/fixed"
 	"boresight/internal/geom"
+	"boresight/internal/parallel"
 	"boresight/internal/video"
 )
 
@@ -61,21 +62,34 @@ func (p Params) Apply(x, y, cx, cy float64) (ox, oy float64) {
 
 // TransformFloat is the reference implementation: an output-driven
 // (inverse-mapped) transform with optional bilinear sampling. Every
-// output pixel is defined; sources outside the input are black.
+// output pixel is defined; sources outside the input are black. It
+// renders on one worker per CPU; TransformFloatWorkers exposes the
+// pool size.
 func TransformFloat(src *video.Frame, p Params, bilinear bool) *video.Frame {
+	return TransformFloatWorkers(src, p, bilinear, 0)
+}
+
+// TransformFloatWorkers renders the transform with scanline banding on
+// the given worker count (<= 0 = one per CPU). Each output row depends
+// only on the read-only source frame and is written by exactly one
+// band, so the output is bit-for-bit identical for every worker count
+// — the software analogue of the FPGA's independent pixel lanes.
+func TransformFloatWorkers(src *video.Frame, p Params, bilinear bool, workers int) *video.Frame {
 	out := video.NewFrame(src.W, src.H)
 	inv := p.Invert()
 	cx, cy := float64(src.W)/2, float64(src.H)/2
-	for y := 0; y < src.H; y++ {
-		for x := 0; x < src.W; x++ {
-			sx, sy := inv.Apply(float64(x), float64(y), cx, cy)
-			if bilinear {
-				out.Set(x, y, sampleBilinear(src, sx, sy))
-			} else {
-				out.Set(x, y, src.At(int(math.Round(sx)), int(math.Round(sy))))
+	parallel.Bands(src.H, workers, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < src.W; x++ {
+				sx, sy := inv.Apply(float64(x), float64(y), cx, cy)
+				if bilinear {
+					out.Set(x, y, sampleBilinear(src, sx, sy))
+				} else {
+					out.Set(x, y, src.At(int(math.Round(sx)), int(math.Round(sy))))
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -144,20 +158,33 @@ func (t *FixedTransformer) RotateCoord(thetaIdx, inX, inY, cx, cy, tx, ty int) (
 // Transform performs an output-driven transform of a whole frame using
 // the fixed-point datapath. The inverse mapping uses the LUT index of
 // −θ and the rotated negative translation, mirroring what the Sabre
-// control program loads into the angle registers.
+// control program loads into the angle registers. It renders on one
+// worker per CPU; TransformWorkers exposes the pool size.
 func (t *FixedTransformer) Transform(src *video.Frame, p Params) *video.Frame {
+	return t.TransformWorkers(src, p, 0)
+}
+
+// TransformWorkers renders the fixed-point transform with scanline
+// banding on the given worker count (<= 0 = one per CPU). The LUT and
+// source frame are read-only and every output row has exactly one
+// writer, so the result is bit-for-bit identical at every worker count
+// — the same frame the clocked five-stage pipeline produces one pixel
+// per cycle.
+func (t *FixedTransformer) TransformWorkers(src *video.Frame, p Params, workers int) *video.Frame {
 	out := video.NewFrame(src.W, src.H)
 	inv := p.Invert()
 	idx := t.lut.Index(inv.Theta)
 	tx := int(math.Round(inv.TX))
 	ty := int(math.Round(inv.TY))
 	cx, cy := src.W/2, src.H/2
-	for y := 0; y < src.H; y++ {
-		for x := 0; x < src.W; x++ {
-			sx, sy := t.RotateCoord(idx, x, y, cx, cy, tx, ty)
-			out.Set(x, y, src.At(sx, sy))
+	parallel.Bands(src.H, workers, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < src.W; x++ {
+				sx, sy := t.RotateCoord(idx, x, y, cx, cy, tx, ty)
+				out.Set(x, y, src.At(sx, sy))
+			}
 		}
-	}
+	})
 	return out
 }
 

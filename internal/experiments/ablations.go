@@ -9,6 +9,7 @@ import (
 	"boresight/internal/fxcore"
 	"boresight/internal/geom"
 	"boresight/internal/hcsim"
+	"boresight/internal/parallel"
 	"boresight/internal/rc200"
 	"boresight/internal/sabre"
 	"boresight/internal/system"
@@ -25,23 +26,28 @@ type FixedPointRow struct {
 
 // AblationFixedPoint quantifies Section 12's "full fixed-point
 // analysis": the 16-bit LUT datapath against the float64 reference
-// across a rotation sweep on the synthetic road scene.
-func AblationFixedPoint(w io.Writer) []FixedPointRow {
+// across a rotation sweep on the synthetic road scene. The sweep
+// angles are independent, so they run on the worker pool (workers <= 0
+// = one per CPU); each angle writes its own row, and the report prints
+// in sweep order afterwards.
+func AblationFixedPoint(w io.Writer, workers int) []FixedPointRow {
 	src := video.RoadScene{W: 320, H: 240}.Render()
 	ft := affine.NewFixedTransformer(fixed.NewTrig(1024, fixed.TrigFrac))
 	fmt.Fprintln(w, "Ablation: fixed-point (Q9.6 / Q1.14, 1024-entry LUT) vs float64 affine")
 	fmt.Fprintf(w, "%10s %12s %14s\n", "angle (°)", "PSNR (dB)", "mean |diff|")
-	var rows []FixedPointRow
-	for _, deg := range []float64{0.5, 1, 2, 5, 10, 20} {
-		p := affine.Params{Theta: geom.Deg2Rad(deg)}
+	angles := []float64{0.5, 1, 2, 5, 10, 20}
+	rows := make([]FixedPointRow, len(angles))
+	parallel.For(len(angles), workers, func(i int) {
+		p := affine.Params{Theta: geom.Deg2Rad(angles[i])}
 		fx := ft.Transform(src, p)
 		fl := affine.TransformFloat(src, p, false)
-		row := FixedPointRow{
-			AngleDeg:    deg,
+		rows[i] = FixedPointRow{
+			AngleDeg:    angles[i],
 			PSNRdB:      video.PSNR(fx, fl),
 			MeanAbsDiff: video.MeanAbsDiff(fx, fl),
 		}
-		rows = append(rows, row)
+	})
+	for _, row := range rows {
 		fmt.Fprintf(w, "%10.1f %12.2f %14.3f\n", row.AngleDeg, row.PSNRdB, row.MeanAbsDiff)
 	}
 	return rows
@@ -55,23 +61,25 @@ type LUTRow struct {
 }
 
 // AblationLUTSize sweeps the sine/cosine table size around the paper's
-// 1024 entries.
-func AblationLUTSize(w io.Writer) []LUTRow {
+// 1024 entries, one worker-pool item per table size.
+func AblationLUTSize(w io.Writer, workers int) []LUTRow {
 	src := video.RoadScene{W: 160, H: 120}.Render()
 	p := affine.Params{Theta: geom.Deg2Rad(3.3)}
 	ref := affine.TransformFloat(src, p, false)
 	fmt.Fprintln(w, "Ablation: sin/cos LUT size (paper uses 1024)")
 	fmt.Fprintf(w, "%8s %14s %16s\n", "entries", "max trig err", "img mean |diff|")
-	var rows []LUTRow
-	for _, n := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
-		lut := fixed.NewTrig(n, fixed.TrigFrac)
+	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	rows := make([]LUTRow, len(sizes))
+	parallel.For(len(sizes), workers, func(i int) {
+		lut := fixed.NewTrig(sizes[i], fixed.TrigFrac)
 		ft := affine.NewFixedTransformer(lut)
-		row := LUTRow{
-			Size:        n,
+		rows[i] = LUTRow{
+			Size:        sizes[i],
 			MaxTrigErr:  lut.MaxError(),
 			MeanAbsDiff: video.MeanAbsDiff(ft.Transform(src, p), ref),
 		}
-		rows = append(rows, row)
+	})
+	for _, row := range rows {
 		fmt.Fprintf(w, "%8d %14.6f %16.3f\n", row.Size, row.MaxTrigErr, row.MeanAbsDiff)
 	}
 	return rows
@@ -86,22 +94,28 @@ type NoiseRow struct {
 
 // AblationNoiseSweep sweeps the measurement-noise setting over the
 // paper's tuning range on the dynamic scenario, showing why 0.003–0.01
-// works statically but ≥0.015 is needed on the road.
-func AblationNoiseSweep(w io.Writer, dur float64) ([]NoiseRow, error) {
+// works statically but ≥0.015 is needed on the road. The sweep points
+// fan out on the worker pool.
+func AblationNoiseSweep(w io.Writer, dur float64, workers int) ([]NoiseRow, error) {
 	mis := geom.EulerDeg(2, -1, 1)
 	fmt.Fprintln(w, "Ablation: measurement noise σ on the dynamic test")
 	fmt.Fprintf(w, "%12s %16s %14s\n", "σ (m/s²)", "Σ|err| (deg)", "3σ exceed")
-	var rows []NoiseRow
-	for _, sigma := range []float64{0.003, 0.005, 0.01, 0.015, 0.02, 0.03, 0.05} {
+	sigmas := []float64{0.003, 0.005, 0.01, 0.015, 0.02, 0.03, 0.05}
+	cfgs := make([]system.Config, len(sigmas))
+	for i, sigma := range sigmas {
 		cfg := system.DynamicScenario(mis, dur, 42)
 		cfg.Filter.MeasNoise = sigma
 		cfg.ResidualStride = 1000
-		res, err := system.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := system.RunMany(cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []NoiseRow
+	for i, res := range results {
 		row := NoiseRow{
-			MeasNoise:      sigma,
+			MeasNoise:      sigmas[i],
 			SumErrDeg:      res.ErrorDeg[0] + res.ErrorDeg[1] + res.ErrorDeg[2],
 			ExceedanceRate: res.ExceedanceRate,
 		}
@@ -187,19 +201,21 @@ type StateModelRow struct {
 
 // AblationStateModel compares filter structures on a scenario with real
 // instrument biases and scale errors: the value of estimating them.
-func AblationStateModel(w io.Writer, dur float64) ([]StateModelRow, error) {
+// The three filter variants fan out on the worker pool.
+func AblationStateModel(w io.Writer, dur float64, workers int) ([]StateModelRow, error) {
 	mis := geom.EulerDeg(1.5, -2, 1)
 	fmt.Fprintln(w, "Ablation: filter state vector (biased/scaled instruments, no pre-calibration)")
 	fmt.Fprintf(w, "%24s %16s\n", "states", "Σ|err| (deg)")
-	var rows []StateModelRow
-	for _, m := range []struct {
+	models := []struct {
 		name        string
 		bias, scale bool
 	}{
 		{"angles only", false, false},
 		{"angles+bias", true, false},
 		{"angles+bias+scale", true, true},
-	} {
+	}
+	cfgs := make([]system.Config, len(models))
+	for i, m := range models {
 		cfg := system.StaticScenario(mis, dur, 7)
 		cfg.Calibrate = false // make the bias states do the work
 		cfg.ACC.Axes[0].Bias = 0.06
@@ -207,11 +223,15 @@ func AblationStateModel(w io.Writer, dur float64) ([]StateModelRow, error) {
 		cfg.Filter.EstimateBias = m.bias
 		cfg.Filter.EstimateScale = m.scale
 		cfg.ResidualStride = 1000
-		res, err := system.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		row := StateModelRow{Model: m.name, SumErrDeg: res.ErrorDeg[0] + res.ErrorDeg[1] + res.ErrorDeg[2]}
+		cfgs[i] = cfg
+	}
+	results, err := system.RunMany(cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []StateModelRow
+	for i, res := range results {
+		row := StateModelRow{Model: models[i].name, SumErrDeg: res.ErrorDeg[0] + res.ErrorDeg[1] + res.ErrorDeg[2]}
 		rows = append(rows, row)
 		fmt.Fprintf(w, "%24s %16.4f\n", row.Model, row.SumErrDeg)
 	}
@@ -229,22 +249,29 @@ type RunLengthRow struct {
 }
 
 // AblationRunLength sweeps the observation window — Section 12's "time
-// allowed for the filter to compute the misalignment angles".
-func AblationRunLength(w io.Writer) ([]RunLengthRow, error) {
+// allowed for the filter to compute the misalignment angles". The
+// windows fan out on the worker pool (the 300 s run dominates, so the
+// dynamic index hand-out keeps the short runs from idling a worker).
+func AblationRunLength(w io.Writer, workers int) ([]RunLengthRow, error) {
 	mis := geom.EulerDeg(2, -1.5, 1)
 	fmt.Fprintln(w, "Ablation: observation window (dynamic test)")
 	fmt.Fprintf(w, "%10s %16s %16s\n", "dur (s)", "Σ|err| (deg)", "Σ3σ (deg)")
-	var rows []RunLengthRow
-	for _, dur := range []float64{15, 30, 60, 120, 300} {
+	durs := []float64{15, 30, 60, 120, 300}
+	cfgs := make([]system.Config, len(durs))
+	for i, dur := range durs {
 		cfg := system.DynamicScenario(mis, dur, 9)
 		cfg.Duration = dur // exact window (drives round up to patterns)
 		cfg.ResidualStride = 1000
-		res, err := system.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := system.RunMany(cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RunLengthRow
+	for i, res := range results {
 		row := RunLengthRow{
-			Duration:  dur,
+			Duration:  durs[i],
 			SumErrDeg: res.ErrorDeg[0] + res.ErrorDeg[1] + res.ErrorDeg[2],
 			Sig3Sum:   res.ThreeSigmaDeg[0] + res.ThreeSigmaDeg[1] + res.ThreeSigmaDeg[2],
 		}

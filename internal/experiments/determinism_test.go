@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The deterministic-replay contract: every experiment that fans out on
+// the worker pool must produce byte-identical results — data and
+// printed report both — at every worker count, because trial seeds
+// derive from trial indices and aggregation runs serially in trial
+// order. These tests are the harness that holds that claim.
+
+// replayWorkerCounts spans serial, a small pool, and heavy
+// oversubscription.
+var replayWorkerCounts = []int{1, 2, 8}
+
+func TestMonteCarloIdenticalAtEveryWorkerCount(t *testing.T) {
+	type outcome struct {
+		st, dy *MonteCarloResult
+		report string
+	}
+	run := func(workers int) outcome {
+		var buf bytes.Buffer
+		st, dy, err := MonteCarlo(&buf, 4, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return outcome{st, dy, buf.String()}
+	}
+	ref := run(replayWorkerCounts[0])
+	for _, w := range replayWorkerCounts[1:] {
+		got := run(w)
+		if !reflect.DeepEqual(got.st, ref.st) {
+			t.Errorf("workers=%d: static result diverged:\n got %+v\nwant %+v", w, got.st, ref.st)
+		}
+		if !reflect.DeepEqual(got.dy, ref.dy) {
+			t.Errorf("workers=%d: dynamic result diverged:\n got %+v\nwant %+v", w, got.dy, ref.dy)
+		}
+		if got.report != ref.report {
+			t.Errorf("workers=%d: printed report diverged:\n got %q\nwant %q", w, got.report, ref.report)
+		}
+	}
+}
+
+func TestTable1IdenticalAtEveryWorkerCount(t *testing.T) {
+	type outcome struct {
+		rows   []Table1Row
+		report string
+	}
+	run := func(workers int) outcome {
+		var buf bytes.Buffer
+		rows, err := Table1(&buf, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return outcome{rows, buf.String()}
+	}
+	ref := run(replayWorkerCounts[0])
+	for _, w := range replayWorkerCounts[1:] {
+		got := run(w)
+		if !reflect.DeepEqual(got.rows, ref.rows) {
+			t.Errorf("workers=%d: rows diverged", w)
+		}
+		if got.report != ref.report {
+			t.Errorf("workers=%d: printed report diverged", w)
+		}
+	}
+}
+
+func TestAblationSweepsIdenticalAtEveryWorkerCount(t *testing.T) {
+	refNoise, err := AblationNoiseSweep(new(bytes.Buffer), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLUT := AblationLUTSize(new(bytes.Buffer), 1)
+	refFixed := AblationFixedPoint(new(bytes.Buffer), 1)
+	for _, w := range replayWorkerCounts[1:] {
+		noise, err := AblationNoiseSweep(new(bytes.Buffer), 5, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(noise, refNoise) {
+			t.Errorf("workers=%d: noise sweep diverged", w)
+		}
+		if got := AblationLUTSize(new(bytes.Buffer), w); !reflect.DeepEqual(got, refLUT) {
+			t.Errorf("workers=%d: LUT sweep diverged", w)
+		}
+		if got := AblationFixedPoint(new(bytes.Buffer), w); !reflect.DeepEqual(got, refFixed) {
+			t.Errorf("workers=%d: fixed-point sweep diverged", w)
+		}
+	}
+}

@@ -35,37 +35,42 @@ var table1Cases = []geom.Euler{
 
 // Table1 reproduces the paper's Table 1: three static tests (top) and
 // two repeated dynamic tests per misalignment (bottom), each dur
-// seconds at 100 Hz. Results print to w.
-func Table1(w io.Writer, dur float64) ([]Table1Row, error) {
-	var rows []Table1Row
-	fmt.Fprintf(w, "Table 1: boresight estimation accuracy (%.0f s runs)\n", dur)
-	fmt.Fprintln(w, "== Static tests (tilting platform, instrument-noise R) ==")
-	header(w)
+// seconds at 100 Hz. The nine runs are independent, so they fan out on
+// the worker pool (workers <= 0 = one per CPU) and print in their
+// fixed table order once all have landed. Results print to w.
+func Table1(w io.Writer, dur float64, workers int) ([]Table1Row, error) {
+	var cfgs []system.Config
+	var names []string
 	for i, mis := range table1Cases {
 		cfg := system.StaticScenario(mis, dur, int64(100+i))
 		cfg.ResidualStride = 1000
-		res, err := system.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		row := toRow(fmt.Sprintf("static-%d", i+1), res)
-		rows = append(rows, row)
-		printRow(w, row)
+		cfgs = append(cfgs, cfg)
+		names = append(names, fmt.Sprintf("static-%d", i+1))
 	}
-	fmt.Fprintln(w, "== Dynamic tests (city driving, vibration, raised R; two runs each) ==")
-	header(w)
 	for i, mis := range table1Cases {
 		for run := 0; run < 2; run++ {
 			cfg := system.DynamicScenario(mis, dur, int64(200+10*i+run))
 			cfg.ResidualStride = 1000
-			res, err := system.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			row := toRow(fmt.Sprintf("dynamic-%d run %d", i+1, run+1), res)
-			rows = append(rows, row)
-			printRow(w, row)
+			cfgs = append(cfgs, cfg)
+			names = append(names, fmt.Sprintf("dynamic-%d run %d", i+1, run+1))
 		}
+	}
+	results, err := system.RunMany(cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	fmt.Fprintf(w, "Table 1: boresight estimation accuracy (%.0f s runs)\n", dur)
+	fmt.Fprintln(w, "== Static tests (tilting platform, instrument-noise R) ==")
+	header(w)
+	for i, res := range results {
+		if i == len(table1Cases) {
+			fmt.Fprintln(w, "== Dynamic tests (city driving, vibration, raised R; two runs each) ==")
+			header(w)
+		}
+		row := toRow(names[i], res)
+		rows = append(rows, row)
+		printRow(w, row)
 	}
 	return rows, nil
 }

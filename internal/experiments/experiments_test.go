@@ -11,7 +11,7 @@ import (
 
 func TestTable1Shape(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Table1(&buf, 60)
+	rows, err := Table1(&buf, 60, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestAblationFixedPoint(t *testing.T) {
 	var buf bytes.Buffer
-	rows := AblationFixedPoint(&buf)
+	rows := AblationFixedPoint(&buf, 0)
 	if len(rows) == 0 {
 		t.Fatal("no rows")
 	}
@@ -143,7 +143,7 @@ func TestAblationFixedPoint(t *testing.T) {
 
 func TestAblationLUTSize(t *testing.T) {
 	var buf bytes.Buffer
-	rows := AblationLUTSize(&buf)
+	rows := AblationLUTSize(&buf, 0)
 	// Trig error decreases with size.
 	for i := 1; i < len(rows); i++ {
 		if rows[i].MaxTrigErr >= rows[i-1].MaxTrigErr {
@@ -160,7 +160,7 @@ func TestAblationLUTSize(t *testing.T) {
 
 func TestAblationNoiseSweep(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := AblationNoiseSweep(&buf, 60)
+	rows, err := AblationNoiseSweep(&buf, 60, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestAblationSabreSoftfloat(t *testing.T) {
 
 func TestAblationStateModel(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := AblationStateModel(&buf, 60)
+	rows, err := AblationStateModel(&buf, 60, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestAblationStateModel(t *testing.T) {
 
 func TestAblationRunLength(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := AblationRunLength(&buf)
+	rows, err := AblationRunLength(&buf, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestAblationVehicleData(t *testing.T) {
 
 func TestMonteCarloCoverage(t *testing.T) {
 	var buf bytes.Buffer
-	st, dy, err := MonteCarlo(&buf, 10, 60)
+	st, dy, err := MonteCarlo(&buf, 10, 60, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestMonteCarloCoverage(t *testing.T) {
 	if st.MeanErrDeg > 0.05 || dy.MeanErrDeg > 0.05 {
 		t.Errorf("mean errors %.4f / %.4f too large", st.MeanErrDeg, dy.MeanErrDeg)
 	}
-	if _, _, err := MonteCarlo(&buf, 1, 60); err == nil {
+	if _, _, err := MonteCarlo(&buf, 1, 60, 0); err == nil {
 		t.Error("1-trial study accepted")
 	}
 }

@@ -32,18 +32,21 @@ type MonteCarloResult struct {
 // empirical test of the paper's "results … exceeded the requirements …
 // with a 3-sigma or 99% confidence". The per-run duration is dur
 // seconds.
-func MonteCarlo(w io.Writer, trials int, dur float64) (staticRes, dynamicRes *MonteCarloResult, err error) {
+//
+// Trials run on a worker pool (workers <= 0 = one per CPU). Every
+// trial's seed and misalignment derive from the trial index alone, and
+// the aggregate statistics are reduced serially in trial order after
+// the pool drains, so the result — including its floating-point
+// rounding — is byte-identical for every worker count.
+func MonteCarlo(w io.Writer, trials int, dur float64, workers int) (staticRes, dynamicRes *MonteCarloResult, err error) {
 	if trials < 2 {
 		return nil, nil, fmt.Errorf("experiments: need at least 2 trials")
 	}
 	fmt.Fprintf(w, "Monte Carlo: %d trials each of the static and dynamic tests (%.0f s runs)\n", trials, dur)
 
 	run := func(dynamic bool) (*MonteCarloResult, error) {
-		res := &MonteCarloResult{Trials: trials}
-		var errs []float64
-		inside, total := 0, 0
-		var sigmaSum float64
-		for trial := 0; trial < trials; trial++ {
+		cfgs := make([]system.Config, trials)
+		for trial := range cfgs {
 			seed := int64(1000 + trial)
 			// Misalignment drawn deterministically per trial, ±3°.
 			mis := geom.EulerDeg(
@@ -51,17 +54,22 @@ func MonteCarlo(w io.Writer, trials int, dur float64) (staticRes, dynamicRes *Mo
 				wrapDeg(float64(trial)*2.3-1.0),
 				wrapDeg(float64(trial)*2.9+1.5),
 			)
-			var cfg system.Config
 			if dynamic {
-				cfg = system.DynamicScenario(mis, dur, seed)
+				cfgs[trial] = system.DynamicScenario(mis, dur, seed)
 			} else {
-				cfg = system.StaticScenario(mis, dur, seed)
+				cfgs[trial] = system.StaticScenario(mis, dur, seed)
 			}
-			cfg.ResidualStride = 10000
-			r, err := system.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+			cfgs[trial].ResidualStride = 10000
+		}
+		runs, err := system.RunMany(cfgs, workers)
+		if err != nil {
+			return nil, err
+		}
+		res := &MonteCarloResult{Trials: trials}
+		var errs []float64
+		inside, total := 0, 0
+		var sigmaSum float64
+		for _, r := range runs {
 			for ax := 0; ax < 3; ax++ {
 				errs = append(errs, r.ErrorDeg[ax])
 				sigmaSum += r.ThreeSigmaDeg[ax]

@@ -209,16 +209,8 @@ func TestTrigErrorDecreasesWithSize(t *testing.T) {
 	}
 }
 
-func TestTrigPythagoreanIdentity(t *testing.T) {
-	lut := NewTrig(1024, TrigFrac)
-	for i := 0; i < lut.Size(); i += 7 {
-		s := ToFloat(lut.SinIdx(i), TrigFrac)
-		c := ToFloat(lut.CosIdx(i), TrigFrac)
-		if math.Abs(s*s+c*c-1) > 1e-3 {
-			t.Fatalf("sin²+cos² = %v at index %d", s*s+c*c, i)
-		}
-	}
-}
+// The Pythagorean, symmetry and monotonicity identities are held for
+// every LUT entry by the property tests in trig_prop_test.go.
 
 func TestTrigResolution(t *testing.T) {
 	lut := NewTrig(1024, TrigFrac)

@@ -1,0 +1,104 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based coverage of the sine/cosine LUT: rather than spot
+// values, these tests hold the identities the affine datapath leans on
+// for every entry of the paper's 1024-entry table (and a small and a
+// large table around it).
+
+func propTables() []*Trig {
+	return []*Trig{
+		NewTrig(64, TrigFrac),
+		NewTrig(1024, TrigFrac),
+		NewTrig(4096, TrigFrac),
+	}
+}
+
+func TestTrigPythagoreanIdentity(t *testing.T) {
+	for _, lut := range propTables() {
+		// One rounded LSB on sine and cosine each perturbs s²+c² by at
+		// most ~2·2^-frac plus the LUT's own quantisation of the angle.
+		tol := 3 / float64(int64(1)<<lut.Frac())
+		for i := 0; i < lut.Size(); i++ {
+			s := ToFloat(lut.SinIdx(i), lut.Frac())
+			c := ToFloat(lut.CosIdx(i), lut.Frac())
+			if d := math.Abs(s*s + c*c - 1); d > tol {
+				t.Fatalf("n=%d: sin²+cos² off by %.6f at index %d", lut.Size(), d, i)
+			}
+		}
+	}
+}
+
+func TestTrigSymmetries(t *testing.T) {
+	for _, lut := range propTables() {
+		n := lut.Size()
+		for i := 0; i < n; i++ {
+			// Odd sine / even cosine: entry n−i mirrors entry i. The
+			// table stores independently rounded values, so allow one
+			// LSB of disagreement.
+			if d := Abs(lut.SinIdx(n-i) + lut.SinIdx(i)); d > 1 {
+				t.Fatalf("n=%d: sin(-θ) ≠ -sin(θ) at index %d (LSB diff %d)", n, i, d)
+			}
+			if d := Abs(lut.CosIdx(n-i) - lut.CosIdx(i)); d > 1 {
+				t.Fatalf("n=%d: cos(-θ) ≠ cos(θ) at index %d (LSB diff %d)", n, i, d)
+			}
+			// Quadrature: sin(θ + π/2) = cos(θ).
+			if d := Abs(lut.SinIdx(i+n/4) - lut.CosIdx(i)); d > 1 {
+				t.Fatalf("n=%d: sin(θ+π/2) ≠ cos(θ) at index %d (LSB diff %d)", n, i, d)
+			}
+			// Index wrap-around is total: any int is a valid index.
+			if lut.SinIdx(i) != lut.SinIdx(i+n) || lut.SinIdx(i) != lut.SinIdx(i-3*n) {
+				t.Fatalf("n=%d: index wrapping broken at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestTrigIndexMonotonicAndCentred(t *testing.T) {
+	for _, lut := range propTables() {
+		n := lut.Size()
+		step := 2 * math.Pi / float64(n)
+		// Bin centres map to their own index…
+		for i := 0; i < n; i++ {
+			if got := lut.Index(float64(i) * step); got != i {
+				t.Fatalf("n=%d: Index(centre of %d) = %d", n, i, got)
+			}
+		}
+		// …and the mapping is monotonically non-decreasing across one
+		// turn up to the final wrap back to index 0.
+		prev := lut.Index(0)
+		for a := 0.0; a < 2*math.Pi-step; a += step / 7 {
+			got := lut.Index(a)
+			if got < prev {
+				t.Fatalf("n=%d: Index not monotone: %d after %d at angle %.6f", n, got, prev, a)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestTrigPeriodicityRandomAngles(t *testing.T) {
+	lut := NewTrig(1024, TrigFrac)
+	rng := rand.New(rand.NewSource(99))
+	for k := 0; k < 2000; k++ {
+		a := (rng.Float64() - 0.5) * 40 // ±20 rad, several turns
+		if lut.Index(a) != lut.Index(a+2*math.Pi) {
+			t.Fatalf("Index not 2π-periodic at %.6f", a)
+		}
+		s1, c1 := lut.SinCos(a)
+		s2, c2 := lut.SinCos(a + 4*math.Pi)
+		if s1 != s2 || c1 != c2 {
+			t.Fatalf("SinCos not periodic at %.6f", a)
+		}
+		// The quantised values track the real functions within the
+		// table's angular resolution.
+		if math.Abs(ToFloat(s1, lut.Frac())-math.Sin(a)) > lut.AngleResolution() {
+			t.Fatalf("sin too far from math.Sin at %.6f", a)
+		}
+	}
+}

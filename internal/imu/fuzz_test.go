@@ -1,0 +1,51 @@
+package imu
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDutyCycleCodec drives the ADXL202 duty-cycle digitisation with
+// arbitrary accelerations and counter resolutions and holds the codec
+// invariants: counts stay inside one PWM period, in-range
+// accelerations round-trip within half a quantisation step, and a
+// decoded value re-encodes to the same counts (the codec is idempotent
+// past the first quantisation).
+func FuzzDutyCycleCodec(f *testing.F) {
+	f.Add(0.0, uint16(4096))
+	f.Add(9.80665, uint16(1000))
+	f.Add(-4*9.80665, uint16(32768))
+	f.Add(123.456, uint16(16))
+	f.Add(-0.001, uint16(3))
+	f.Fuzz(func(t *testing.T, accel float64, t2 uint16) {
+		if math.IsNaN(accel) || math.IsInf(accel, 0) {
+			t.Skip("non-finite acceleration has no physical encoding")
+		}
+		c := DutyCycleCodec{T2Counts: int(t2%32768) + 2}
+		t1 := c.Encode(accel)
+		if t1 < 0 || t1 > c.T2Counts {
+			t.Fatalf("T2=%d accel=%g: count %d outside [0, %d]", c.T2Counts, accel, t1, c.T2Counts)
+		}
+		got := c.Decode(t1)
+		// The duty cycle saturates at the device's ±4 g limits; inside
+		// them (with margin for the rounding at the rails) the
+		// round-trip error is bounded by half a count.
+		limit := 4 * GravityPerG
+		if math.Abs(accel) < limit-c.Resolution() {
+			if err := math.Abs(got - accel); err > c.Resolution()/2+1e-9 {
+				t.Fatalf("T2=%d accel=%g: round-trip error %g exceeds %g",
+					c.T2Counts, accel, err, c.Resolution()/2)
+			}
+		} else {
+			// Saturated readings still decode to something inside the
+			// physical range (one half-count of slack at the rails).
+			if math.Abs(got) > limit+c.Resolution() {
+				t.Fatalf("T2=%d accel=%g: saturated decode %g beyond ±4 g", c.T2Counts, accel, got)
+			}
+		}
+		// Idempotence: decode∘encode is a fixed point.
+		if again := c.Encode(got); again != t1 {
+			t.Fatalf("T2=%d accel=%g: re-encode %d != %d", c.T2Counts, accel, again, t1)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+// Package parallel provides the deterministic worker-pool primitives
+// behind the repo's "parallel but bit-for-bit reproducible" contract.
+// The FPGA of the paper gets its throughput from independent hardware
+// lanes; the software analogue is independent work items — Monte Carlo
+// trials that derive every random draw from their own trial index, and
+// output scanlines that each depend only on the source frame — which
+// can be scheduled on any number of workers without changing a single
+// result.
+//
+// The primitives therefore make one demand of their callers: a work
+// item must read only broadcast inputs and write only to storage
+// addressed by its own index (a result slot, a band of output rows).
+// Under that contract every schedule produces byte-identical output,
+// which the deterministic-replay tests in internal/experiments and
+// internal/affine assert at several worker counts.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a workers setting to a concrete worker count: values
+// <= 0 select one worker per available CPU (GOMAXPROCS), anything else
+// is used as given. Callers pass user-facing knobs (the -workers flag,
+// Config.Workers fields) straight through.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) on a pool of workers (resolved
+// via Resolve, capped at n). Indices are handed out dynamically, so
+// uneven items balance; determinism comes from the caller's contract
+// that fn(i) touches only index-i storage, not from any ordering
+// guarantee. A panic in any item is re-raised on the calling goroutine
+// after the pool drains, so tests see ordinary panics.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		once  sync.Once
+		fault any
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					once.Do(func() { fault = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if fault != nil {
+		panic(fault)
+	}
+}
+
+// Bands partitions the rows [0, h) into one contiguous band per worker
+// and runs fn(y0, y1) for each half-open band [y0, y1). Band edges
+// depend only on h and the resolved worker count, and every row lands
+// in exactly one band — the scanline decomposition used by the affine
+// transforms and the scene renderer. The same determinism contract and
+// panic behaviour as For apply.
+func Bands(h, workers int, fn func(y0, y1 int)) {
+	if h <= 0 {
+		return
+	}
+	w := Resolve(workers)
+	if w > h {
+		w = h
+	}
+	if w <= 1 {
+		fn(0, h)
+		return
+	}
+	For(w, w, func(k int) {
+		fn(k*h/w, (k+1)*h/w)
+	})
+}

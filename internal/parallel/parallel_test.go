@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// workerCounts are the pool sizes every determinism table in the repo
+// exercises: serial, small, and oversubscribed relative to this
+// machine.
+var workerCounts = []int{1, 2, 8}
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		in, want int
+	}{
+		{-3, runtime.GOMAXPROCS(0)},
+		{0, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{7, 7},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.in); got != c.want {
+			t.Errorf("Resolve(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	const n = 257 // prime, so it never divides evenly among workers
+	for _, w := range workerCounts {
+		counts := make([]int32, n)
+		For(n, w, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 100
+	ref := make([]float64, n)
+	For(n, 1, func(i int) { ref[i] = float64(i*i) * 0.125 })
+	for _, w := range workerCounts[1:] {
+		got := make([]float64, n)
+		For(n, w, func(i int) { got[i] = float64(i*i) * 0.125 })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %v, want %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEmptyAndTinyRanges(t *testing.T) {
+	calls := 0
+	For(0, 8, func(int) { calls++ })
+	For(-5, 8, func(int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("empty ranges ran %d items", calls)
+	}
+	For(1, 8, func(int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("single-item range ran %d items", calls)
+	}
+}
+
+func TestForPropagatesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in a work item did not reach the caller")
+		}
+	}()
+	For(16, 4, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestBandsPartitionRows(t *testing.T) {
+	for _, h := range []int{1, 2, 7, 64, 241} {
+		for _, w := range []int{1, 2, 3, 8, 300} {
+			covered := make([]int32, h)
+			Bands(h, w, func(y0, y1 int) {
+				if y0 >= y1 {
+					t.Errorf("h=%d workers=%d: empty band [%d,%d)", h, w, y0, y1)
+				}
+				for y := y0; y < y1; y++ {
+					atomic.AddInt32(&covered[y], 1)
+				}
+			})
+			for y, c := range covered {
+				if c != 1 {
+					t.Fatalf("h=%d workers=%d: row %d covered %d times", h, w, y, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBandsEdgesDependOnlyOnSize(t *testing.T) {
+	// Two identical invocations must produce identical band edges —
+	// the property the golden-frame tests lean on.
+	record := func() [][2]int {
+		var mu atomic.Pointer[[][2]int]
+		edges := [][2]int{}
+		mu.Store(&edges)
+		Bands(240, 4, func(y0, y1 int) {
+			for {
+				old := mu.Load()
+				next := append(append([][2]int{}, *old...), [2]int{y0, y1})
+				if mu.CompareAndSwap(old, &next) {
+					return
+				}
+			}
+		})
+		set := map[[2]int]bool{}
+		for _, e := range *mu.Load() {
+			set[e] = true
+		}
+		out := [][2]int{}
+		for e := range set {
+			out = append(out, e)
+		}
+		return out
+	}
+	a, b := record(), record()
+	if len(a) != len(b) {
+		t.Fatalf("band count changed between runs: %d vs %d", len(a), len(b))
+	}
+	in := func(set [][2]int, e [2]int) bool {
+		for _, s := range set {
+			if s == e {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range a {
+		if !in(b, e) {
+			t.Fatalf("band %v present in one run only", e)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"boresight/internal/geom"
+)
+
+// Replay determinism: a Config fully determines a Result — every
+// random draw comes from Config.Seed — and RunMany is Run fanned out,
+// nothing more. The Monte Carlo study and the parallel experiment
+// tables stand on these two properties.
+
+func determinismConfigs() []Config {
+	mis := geom.EulerDeg(2, -1.5, 1)
+	cfgs := []Config{
+		StaticScenario(mis, 5, 11),
+		DynamicScenario(mis, 5, 12),
+		StaticScenario(geom.EulerDeg(-1, 2, -2.5), 5, 13),
+		DynamicScenario(mis, 5, 14),
+	}
+	// Exercise the strided histories and the link path too: replay must
+	// hold for every byte of the Result, not just the headline angles.
+	cfgs[0].EstimateStride = 7
+	cfgs[1].ResidualStride = 3
+	cfgs[3].UseLinks = true
+	cfgs[3].LinkFaultProb = 0.01
+	return cfgs
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	for i, cfg := range determinismConfigs() {
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("cfg %d replay: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("cfg %d: identical seeds produced different results", i)
+		}
+	}
+}
+
+func TestRunManyMatchesSerialRunAtEveryWorkerCount(t *testing.T) {
+	cfgs := determinismConfigs()
+	want := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := RunMany(cfgs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("workers=%d: run %d diverged from serial Run", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunManyReportsErrors(t *testing.T) {
+	cfgs := determinismConfigs()
+	cfgs[2].Profile = nil // invalid: Run must fail on it
+	if _, err := RunMany(cfgs, 4); err == nil {
+		t.Fatal("RunMany swallowed a run error")
+	}
+}

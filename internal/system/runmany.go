@@ -1,0 +1,32 @@
+package system
+
+import (
+	"fmt"
+
+	"boresight/internal/parallel"
+)
+
+// RunMany executes independent scenario configurations on a worker
+// pool and returns their results in input order. Every random draw
+// inside a run derives from its own Config.Seed and every run writes
+// only its own result slot, so the output is byte-identical for any
+// worker count — including workers=1, which degenerates to calling Run
+// in a plain loop. workers <= 0 uses one worker per CPU.
+//
+// This is the trial runner under the Monte Carlo study and the
+// table-style experiments: they build their full config list up front,
+// fan the runs out here, and then aggregate serially in input order so
+// floating-point reductions also keep a fixed evaluation order.
+func RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	parallel.For(len(cfgs), workers, func(i int) {
+		results[i], errs[i] = Run(cfgs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("system: run %d of %d: %w", i, len(cfgs), err)
+		}
+	}
+	return results, nil
+}

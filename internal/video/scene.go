@@ -1,6 +1,10 @@
 package video
 
-import "math"
+import (
+	"math"
+
+	"boresight/internal/parallel"
+)
 
 // RoadScene renders a synthetic forward-camera view: sky, road surface
 // with perspective lane markings, a horizon line and roadside posts.
@@ -27,55 +31,69 @@ var (
 	horizonGlow = RGB(170, 190, 225)
 )
 
-// Render draws the scene into a new frame.
+// Render draws the scene into a new frame on one worker per CPU;
+// RenderWorkers exposes the pool size.
 func (s RoadScene) Render() *Frame {
+	return s.RenderWorkers(0)
+}
+
+// RenderWorkers draws the scene with scanline banding on the given
+// worker count (<= 0 = one per CPU). Every row of the sky/road field
+// and the dashed lane marking is a pure function of its own y, so the
+// bands commute and the frame is bit-for-bit identical at every worker
+// count; only the roadside posts, which span rows, draw serially
+// afterwards.
+func (s RoadScene) RenderWorkers(workers int) *Frame {
 	f := NewFrame(s.W, s.H)
 	horizon := s.H * 2 / 5
 	cx := float64(s.W) / 2
-	for y := 0; y < s.H; y++ {
-		for x := 0; x < s.W; x++ {
-			if y < horizon {
-				// Sky with a glow band just above the horizon.
-				if horizon-y < s.H/24 {
-					f.Set(x, y, horizonGlow)
-				} else {
-					f.Set(x, y, skyColor)
+	parallel.Bands(s.H, workers, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < s.W; x++ {
+				if y < horizon {
+					// Sky with a glow band just above the horizon.
+					if horizon-y < s.H/24 {
+						f.Set(x, y, horizonGlow)
+					} else {
+						f.Set(x, y, skyColor)
+					}
+					continue
 				}
-				continue
+				// Perspective depth: 0 at horizon, 1 at the bottom.
+				depth := float64(y-horizon) / float64(s.H-horizon)
+				// Road half-width grows linearly with depth.
+				halfW := 0.06*float64(s.W) + depth*0.42*float64(s.W)
+				dx := float64(x) - cx
+				switch {
+				case math.Abs(dx) > halfW:
+					f.Set(x, y, grassColor)
+				case math.Abs(math.Abs(dx)-halfW) < 1.5+2.5*depth:
+					f.Set(x, y, edgeColor)
+				default:
+					f.Set(x, y, roadColor)
+				}
 			}
-			// Perspective depth: 0 at horizon, 1 at the bottom.
-			depth := float64(y-horizon) / float64(s.H-horizon)
-			// Road half-width grows linearly with depth.
-			halfW := 0.06*float64(s.W) + depth*0.42*float64(s.W)
-			dx := float64(x) - cx
-			switch {
-			case math.Abs(dx) > halfW:
-				f.Set(x, y, grassColor)
-			case math.Abs(math.Abs(dx)-halfW) < 1.5+2.5*depth:
-				f.Set(x, y, edgeColor)
-			default:
-				f.Set(x, y, roadColor)
+			// Centre dashed lane marking with perspective spacing and
+			// the configured offset — row-local, so it rides in the
+			// same band as its base row.
+			if y >= horizon {
+				depth := float64(y-horizon) / float64(s.H-horizon)
+				if depth <= 0 {
+					continue
+				}
+				// Dash pattern in "world" distance: 1/depth as distance proxy.
+				world := 4 / (depth + 0.05)
+				if math.Mod(world, 2.4) > 1.2 {
+					continue
+				}
+				w := 1 + 3*depth
+				cxm := cx + s.LaneOffset*depth
+				for x := int(cxm - w); x <= int(cxm+w); x++ {
+					f.Set(x, y, laneColor)
+				}
 			}
 		}
-	}
-	// Centre dashed lane marking with perspective spacing and the
-	// configured offset.
-	for y := horizon; y < s.H; y++ {
-		depth := float64(y-horizon) / float64(s.H-horizon)
-		if depth <= 0 {
-			continue
-		}
-		// Dash pattern in "world" distance: use 1/depth as distance proxy.
-		world := 4 / (depth + 0.05)
-		if math.Mod(world, 2.4) > 1.2 {
-			continue
-		}
-		w := 1 + 3*depth
-		cxm := cx + s.LaneOffset*depth
-		for x := int(cxm - w); x <= int(cxm+w); x++ {
-			f.Set(x, y, laneColor)
-		}
-	}
+	})
 	// Roadside posts at fixed depths.
 	for _, depth := range []float64{0.25, 0.5, 0.8} {
 		y := horizon + int(depth*float64(s.H-horizon))

@@ -1,0 +1,26 @@
+package video
+
+import "testing"
+
+// The scene renderer is the third scanline-banded path (after the two
+// affine transforms); its frames must be bit-for-bit identical at
+// every worker count, including sizes that don't divide evenly into
+// bands and scenes with the animated lane offset.
+func TestRoadSceneRenderIdenticalAtEveryWorkerCount(t *testing.T) {
+	scenes := []RoadScene{
+		{W: 160, H: 120},
+		{W: 317, H: 99, LaneOffset: 37.5},
+		{W: 4, H: 3},
+	}
+	for _, s := range scenes {
+		ref := s.RenderWorkers(1)
+		for _, workers := range []int{2, 3, 8, 64} {
+			if !s.RenderWorkers(workers).Equal(ref) {
+				t.Errorf("scene %dx%d: render diverged at workers=%d", s.W, s.H, workers)
+			}
+		}
+		if !s.Render().Equal(ref) {
+			t.Errorf("scene %dx%d: default Render diverged from serial", s.W, s.H)
+		}
+	}
+}
