@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench experiments demo clean
+.PHONY: all build vet test race fuzz bench bench-json experiments demo clean
 
 all: build vet test
 
@@ -28,6 +28,20 @@ fuzz:
 # Every paper table/figure and ablation as a benchmark, with logs.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark-regression harness: run the suite in short mode (3
+# repetitions of 5 iterations each, 10 s simulated experiment
+# duration), archive bench/BENCH_<date>.json, and fail on a regression
+# against the previous archive (>15% ns/op on the same machine, or any
+# allocation on a previously zero-alloc benchmark). benchreport folds
+# the -count repetitions into min ns/op + max allocs/op, which is what
+# makes a wall-time gate workable on noisy shared hardware. See
+# cmd/benchreport.
+bench-json:
+	mkdir -p bench
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 5x -count 3 -bench-dur 10 . > bench/latest.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sabre/ >> bench/latest.txt
+	$(GO) run ./cmd/benchreport -emit bench -in bench/latest.txt
 
 # Regenerate the full evaluation report (Table 1, Figs 8-9, Monte
 # Carlo, ablations) at the paper's 300 s duration.

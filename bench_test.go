@@ -300,13 +300,20 @@ func benchmarkAffine(b *testing.B, workers int) {
 	src := video.RoadScene{W: 640, H: 480}.RenderWorkers(workers)
 	ft := affine.NewFixedTransformer(fixed.NewTrig(1024, fixed.TrigFrac))
 	p := affine.Params{Theta: geom.Deg2Rad(3.3), TX: 4, TY: -2}
+	// Destination frames are reused across iterations — the steady state
+	// of a video pipeline recycling buffers through a video.FramePool.
+	fl := video.NewFrame(src.W, src.H)
+	fx := video.NewFrame(src.W, src.H)
+	// Untimed warm-up: faults in the destination pages, checks the
+	// fixed-vs-float agreement once, and keeps the Logf allocation out
+	// of the timed loop so the loop measures the bare kernels.
+	affine.TransformFloatInto(fl, src, p, false, workers)
+	ft.TransformInto(fx, src, p, workers)
+	b.Logf("workers=%d: mean |fixed−float| %.3f", workers, video.MeanAbsDiff(fx, fl))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fl := affine.TransformFloatWorkers(src, p, false, workers)
-		fx := ft.TransformWorkers(src, p, workers)
-		if i == 0 {
-			b.Logf("workers=%d: mean |fixed−float| %.3f", workers, video.MeanAbsDiff(fx, fl))
-		}
+		affine.TransformFloatInto(fl, src, p, false, workers)
+		ft.TransformInto(fx, src, p, workers)
 	}
 }
 

@@ -1,0 +1,166 @@
+// Command benchreport is the benchmark-regression harness: it parses
+// `go test -bench -benchmem` output into a dated JSON report, archives
+// it next to the previous runs, and fails (exit 1) when the fresh run
+// regresses against the last archived one — more than the tolerated
+// ns/op growth on the same machine, or any allocation on a benchmark
+// that previously ran allocation-free.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchreport -emit bench
+//	benchreport -in bench.txt -o report.json
+//	benchreport -old bench/BENCH_2026-08-04.json -new bench/BENCH_2026-08-05.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"boresight/internal/benchfmt"
+)
+
+func main() {
+	emitDir := flag.String("emit", "", "archive directory: write BENCH_<date>.json there and compare against the previous archive")
+	inPath := flag.String("in", "", "bench text input file (default stdin)")
+	outPath := flag.String("o", "", "write the parsed report JSON to this file instead of archiving")
+	oldPath := flag.String("old", "", "compare mode: previous report JSON")
+	newPath := flag.String("new", "", "compare mode: fresh report JSON")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "report date (YYYY-MM-DD)")
+	tol := flag.Float64("tol", 15, "tolerated ns/op growth in percent")
+	flag.Parse()
+
+	regressed, err := realMain(os.Stdout, *emitDir, *inPath, *outPath, *oldPath, *newPath, *date, *tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(2)
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+func realMain(out io.Writer, emitDir, inPath, outPath, oldPath, newPath, date string, tol float64) (bool, error) {
+	if oldPath != "" || newPath != "" {
+		if oldPath == "" || newPath == "" {
+			return false, fmt.Errorf("-old and -new must be given together")
+		}
+		oldRep, err := readReport(oldPath)
+		if err != nil {
+			return false, err
+		}
+		newRep, err := readReport(newPath)
+		if err != nil {
+			return false, err
+		}
+		return report(out, oldRep, newRep, tol), nil
+	}
+
+	in := io.Reader(os.Stdin)
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return false, err
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := benchfmt.Parse(in)
+	if err != nil {
+		return false, err
+	}
+	rep.Date = date
+
+	if outPath != "" {
+		return false, writeReport(outPath, rep)
+	}
+	if emitDir == "" {
+		return false, fmt.Errorf("need -emit DIR, -o FILE, or -old/-new")
+	}
+
+	if err := os.MkdirAll(emitDir, 0o755); err != nil {
+		return false, err
+	}
+	name := "BENCH_" + date + ".json"
+	prev, err := previousArchive(emitDir, name)
+	if err != nil {
+		return false, err
+	}
+	if err := writeReport(filepath.Join(emitDir, name), rep); err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "archived %s (%d benchmarks)\n", filepath.Join(emitDir, name), len(rep.Results))
+	if prev == "" {
+		fmt.Fprintln(out, "no previous archive; nothing to compare")
+		return false, nil
+	}
+	oldRep, err := readReport(filepath.Join(emitDir, prev))
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "comparing against %s\n", prev)
+	return report(out, oldRep, rep, tol), nil
+}
+
+// previousArchive returns the lexically greatest BENCH_*.json in dir
+// strictly below name ("" when there is none). The date format makes
+// lexical order chronological.
+func previousArchive(dir, name string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var archives []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, "BENCH_") && strings.HasSuffix(n, ".json") && n < name {
+			archives = append(archives, n)
+		}
+	}
+	if len(archives) == 0 {
+		return "", nil
+	}
+	sort.Strings(archives)
+	return archives[len(archives)-1], nil
+}
+
+func report(out io.Writer, oldRep, newRep *benchfmt.Report, tol float64) bool {
+	regs := benchfmt.Compare(oldRep, newRep, tol)
+	if oldRep.CPU != newRep.CPU {
+		fmt.Fprintf(out, "cpu changed (%q -> %q): ns/op not compared, allocs/op still enforced\n", oldRep.CPU, newRep.CPU)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintln(out, "no regressions")
+		return false
+	}
+	for _, r := range regs {
+		fmt.Fprintln(out, "REGRESSION:", r)
+	}
+	return true
+}
+
+func readReport(path string) (*benchfmt.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchfmt.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func writeReport(path string, rep *benchfmt.Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"boresight/internal/experiments"
+	"boresight/internal/prof"
 )
 
 func main() {
@@ -21,10 +22,21 @@ func main() {
 	dur := flag.Float64("dur", 300, "test duration in seconds (the paper uses 300)")
 	csvDir := flag.String("csv", "", "directory for CSV dumps of the figure data (optional)")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel experiments (<= 0 = one per CPU); results are identical at every setting")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := realMain(*run, *dur, *csvDir, *workers); err != nil {
+	stop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	runErr := realMain(*run, *dur, *csvDir, *workers)
+	if err := stop(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }

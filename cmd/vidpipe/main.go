@@ -20,6 +20,7 @@ import (
 	"boresight/internal/fixed"
 	"boresight/internal/geom"
 	"boresight/internal/hcsim"
+	"boresight/internal/prof"
 	"boresight/internal/rc200"
 	"boresight/internal/video"
 )
@@ -32,10 +33,21 @@ func main() {
 	h := flag.Int("h", 240, "frame height")
 	focal := flag.Float64("focal", 400, "focal length (pixels)")
 	out := flag.String("out", ".", "output directory for PPM images")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := realMain(*roll, *pitch, *yaw, *w, *h, *focal, *out); err != nil {
+	stop, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vidpipe:", err)
+		os.Exit(1)
+	}
+	runErr := realMain(*roll, *pitch, *yaw, *w, *h, *focal, *out)
+	if err := stop(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "vidpipe:", runErr)
 		os.Exit(1)
 	}
 }

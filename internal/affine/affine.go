@@ -13,6 +13,7 @@
 package affine
 
 import (
+	"fmt"
 	"math"
 
 	"boresight/internal/fixed"
@@ -76,21 +77,55 @@ func TransformFloat(src *video.Frame, p Params, bilinear bool) *video.Frame {
 // — the software analogue of the FPGA's independent pixel lanes.
 func TransformFloatWorkers(src *video.Frame, p Params, bilinear bool, workers int) *video.Frame {
 	out := video.NewFrame(src.W, src.H)
+	TransformFloatInto(out, src, p, bilinear, workers)
+	return out
+}
+
+// TransformFloatInto renders the transform into an existing destination
+// frame, which must match the source dimensions and must not be the
+// source itself (the transform gathers from arbitrary source rows, so
+// in-place operation would read already-written pixels; it panics
+// rather than corrupt). Every output pixel is written, so dst needs no
+// clearing and may come from a video.FramePool. When the resolved
+// worker count is 1 it allocates nothing.
+func TransformFloatInto(dst, src *video.Frame, p Params, bilinear bool, workers int) {
+	checkDst("TransformFloatInto", dst, src)
 	inv := p.Invert()
 	cx, cy := float64(src.W)/2, float64(src.H)/2
+	if parallel.Resolve(workers) == 1 {
+		// Direct call: the banding closure below escapes to the worker
+		// goroutines and would cost one allocation even when no
+		// goroutine is ever spawned.
+		transformFloatBand(dst, src, inv, cx, cy, bilinear, 0, src.H)
+		return
+	}
 	parallel.Bands(src.H, workers, func(y0, y1 int) {
-		for y := y0; y < y1; y++ {
-			for x := 0; x < src.W; x++ {
-				sx, sy := inv.Apply(float64(x), float64(y), cx, cy)
-				if bilinear {
-					out.Set(x, y, sampleBilinear(src, sx, sy))
-				} else {
-					out.Set(x, y, src.At(int(math.Round(sx)), int(math.Round(sy))))
-				}
+		transformFloatBand(dst, src, inv, cx, cy, bilinear, y0, y1)
+	})
+}
+
+func transformFloatBand(dst, src *video.Frame, inv Params, cx, cy float64, bilinear bool, y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		for x := 0; x < src.W; x++ {
+			sx, sy := inv.Apply(float64(x), float64(y), cx, cy)
+			if bilinear {
+				dst.Set(x, y, sampleBilinear(src, sx, sy))
+			} else {
+				dst.Set(x, y, src.At(int(math.Round(sx)), int(math.Round(sy))))
 			}
 		}
-	})
-	return out
+	}
+}
+
+// checkDst validates a destination frame for the output-driven
+// transforms: same shape as the source and not aliased to it.
+func checkDst(op string, dst, src *video.Frame) {
+	if dst.W != src.W || dst.H != src.H {
+		panic(fmt.Sprintf("affine: %s dst %dx%d for %dx%d src", op, dst.W, dst.H, src.W, src.H))
+	}
+	if dst == src || (len(dst.Pix) > 0 && len(src.Pix) > 0 && &dst.Pix[0] == &src.Pix[0]) {
+		panic("affine: " + op + " dst must not alias src")
+	}
 }
 
 func sampleBilinear(src *video.Frame, x, y float64) video.Pixel {
@@ -172,20 +207,39 @@ func (t *FixedTransformer) Transform(src *video.Frame, p Params) *video.Frame {
 // per cycle.
 func (t *FixedTransformer) TransformWorkers(src *video.Frame, p Params, workers int) *video.Frame {
 	out := video.NewFrame(src.W, src.H)
+	t.TransformInto(out, src, p, workers)
+	return out
+}
+
+// TransformInto renders the fixed-point transform into an existing
+// destination frame, which must match the source dimensions and must
+// not alias the source (panics otherwise — see TransformFloatInto).
+// Every output pixel is written, so dst needs no clearing and may come
+// from a video.FramePool. When the resolved worker count is 1 it
+// allocates nothing.
+func (t *FixedTransformer) TransformInto(dst, src *video.Frame, p Params, workers int) {
+	checkDst("TransformInto", dst, src)
 	inv := p.Invert()
 	idx := t.lut.Index(inv.Theta)
 	tx := int(math.Round(inv.TX))
 	ty := int(math.Round(inv.TY))
 	cx, cy := src.W/2, src.H/2
+	if parallel.Resolve(workers) == 1 {
+		t.transformBand(dst, src, idx, cx, cy, tx, ty, 0, src.H)
+		return
+	}
 	parallel.Bands(src.H, workers, func(y0, y1 int) {
-		for y := y0; y < y1; y++ {
-			for x := 0; x < src.W; x++ {
-				sx, sy := t.RotateCoord(idx, x, y, cx, cy, tx, ty)
-				out.Set(x, y, src.At(sx, sy))
-			}
-		}
+		t.transformBand(dst, src, idx, cx, cy, tx, ty, y0, y1)
 	})
-	return out
+}
+
+func (t *FixedTransformer) transformBand(dst, src *video.Frame, idx, cx, cy, tx, ty, y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		for x := 0; x < src.W; x++ {
+			sx, sy := t.RotateCoord(idx, x, y, cx, cy, tx, ty)
+			dst.Set(x, y, src.At(sx, sy))
+		}
+	}
 }
 
 // ForwardMap reproduces the paper's forward-mapped formulation (each

@@ -1,0 +1,85 @@
+package affine
+
+import (
+	"testing"
+
+	"boresight/internal/fixed"
+	"boresight/internal/video"
+)
+
+// TestTransformIntoEquivalence checks the destination-passing
+// transforms against the allocating API, including a garbage-filled
+// destination (every pixel must be overwritten, none accumulated).
+func TestTransformIntoEquivalence(t *testing.T) {
+	scene := video.RoadScene{W: 160, H: 120, LaneOffset: 8}
+	src := scene.Render()
+	p := Params{Theta: 0.05, TX: 3.5, TY: -2.25}
+	dst := video.NewFrame(src.W, src.H)
+	dst.Fill(video.RGB(1, 2, 3))
+
+	for _, bilinear := range []bool{false, true} {
+		want := TransformFloatWorkers(src, p, bilinear, 2)
+		TransformFloatInto(dst, src, p, bilinear, 2)
+		if !dst.Equal(want) {
+			t.Errorf("TransformFloatInto(bilinear=%v) differs from allocating API", bilinear)
+		}
+	}
+
+	tr := NewFixedTransformer(fixed.NewTrig(1024, fixed.TrigFrac))
+	want := tr.TransformWorkers(src, p, 2)
+	dst.Fill(video.RGB(9, 9, 9))
+	tr.TransformInto(dst, src, p, 2)
+	if !dst.Equal(want) {
+		t.Error("TransformInto differs from allocating API")
+	}
+}
+
+// TestTransformIntoAliasPanics checks the documented guarantee that the
+// output-driven transforms reject dst aliasing src.
+func TestTransformIntoAliasPanics(t *testing.T) {
+	f := video.NewFrame(16, 16)
+	tr := NewFixedTransformer(fixed.NewTrig(1024, fixed.TrigFrac))
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"TransformFloatInto", func() { TransformFloatInto(f, f, Params{}, false, 1) }},
+		{"TransformInto", func() { tr.TransformInto(f, f, Params{}, 1) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on dst==src, got none", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+// TestTransformIntoAllocFree pins the per-frame zero-allocation
+// contract of the hot video path at workers == 1 (the serial fast path;
+// the banded path allocates its goroutine bookkeeping by design — see
+// parallel.Bands).
+func TestTransformIntoAllocFree(t *testing.T) {
+	scene := video.RoadScene{W: 160, H: 120}
+	src := scene.Render()
+	dst := video.NewFrame(src.W, src.H)
+	p := Params{Theta: 0.03, TX: 2, TY: -1}
+	tr := NewFixedTransformer(fixed.NewTrig(1024, fixed.TrigFrac))
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"TransformFloatInto nearest", func() { TransformFloatInto(dst, src, p, false, 1) }},
+		{"TransformFloatInto bilinear", func() { TransformFloatInto(dst, src, p, true, 1) }},
+		{"TransformInto", func() { tr.TransformInto(dst, src, p, 1) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(20, c.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/run, want 0", c.name, allocs)
+		}
+	}
+}

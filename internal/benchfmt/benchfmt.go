@@ -1,0 +1,222 @@
+// Package benchfmt parses `go test -bench -benchmem` output into a
+// structured report and compares two reports for performance
+// regressions. It is the core of the repository's benchmark-regression
+// harness (cmd/benchreport): each bench run is archived as a dated
+// JSON file, and CI compares the fresh run against the last committed
+// one so a change that silently re-introduces hot-path allocations —
+// the failure mode a hard-real-time fusion loop cannot absorb — fails
+// the build rather than landing unnoticed.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// so runs from machines with different CPU counts compare.
+	Name string `json:"name"`
+	// Runs is the iteration count the framework settled on.
+	Runs int `json:"runs"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; HasMem records
+	// whether they were present at all (0 allocs and "not measured"
+	// must not be conflated).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	HasMem      bool  `json:"has_mem"`
+}
+
+// Report is a parsed benchmark run.
+type Report struct {
+	// Date is the run date (YYYY-MM-DD), supplied by the caller — the
+	// parser has no clock.
+	Date    string   `json:"date,omitempty"`
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Find returns the result with the given name, or nil.
+func (r *Report) Find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Parse reads `go test -bench` text output. Benchmark lines are
+// collected; goos/goarch/cpu headers are captured; everything else
+// (b.Logf output, PASS/ok trailers) is ignored. An input with no
+// benchmark lines at all is an error — it almost always means the
+// bench run itself failed.
+//
+// Repeated lines for the same benchmark (`-count N`) are folded into
+// one result: minimum ns/op (the least-disturbed sample — wall time on
+// a shared machine is best-case plus noise) and maximum B/op and
+// allocs/op (the strictest sample, so the zero-alloc contract cannot
+// be satisfied by one lucky repetition).
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	index := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A benchmark line is "Name iterations value unit [value unit ...]".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		res := Result{Name: trimProcs(fields[0]), Runs: runs}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				if res.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+					return nil, fmt.Errorf("benchfmt: bad ns/op %q in %q", v, line)
+				}
+				ok = true
+			case "B/op":
+				if res.BytesPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+					return nil, fmt.Errorf("benchfmt: bad B/op %q in %q", v, line)
+				}
+				res.HasMem = true
+			case "allocs/op":
+				if res.AllocsPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+					return nil, fmt.Errorf("benchfmt: bad allocs/op %q in %q", v, line)
+				}
+				res.HasMem = true
+			}
+		}
+		if !ok {
+			continue
+		}
+		if i, seen := index[res.Name]; seen {
+			merge(&rep.Results[i], res)
+		} else {
+			index[res.Name] = len(rep.Results)
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmark lines found")
+	}
+	return rep, nil
+}
+
+// merge folds a repeated sample of the same benchmark into dst: min
+// ns/op, max B/op and allocs/op (see Parse).
+func merge(dst *Result, s Result) {
+	dst.Runs += s.Runs
+	if s.NsPerOp < dst.NsPerOp {
+		dst.NsPerOp = s.NsPerOp
+	}
+	if s.BytesPerOp > dst.BytesPerOp {
+		dst.BytesPerOp = s.BytesPerOp
+	}
+	if s.AllocsPerOp > dst.AllocsPerOp {
+		dst.AllocsPerOp = s.AllocsPerOp
+	}
+	dst.HasMem = dst.HasMem || s.HasMem
+}
+
+// trimProcs strips the trailing -N GOMAXPROCS suffix from a benchmark
+// name, if present.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// Regression is one detected performance regression.
+type Regression struct {
+	Name string `json:"name"`
+	// Kind is "time" (ns/op grew beyond tolerance) or "allocs" (a
+	// zero-alloc benchmark started allocating).
+	Kind string  `json:"kind"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+}
+
+func (r Regression) String() string {
+	switch r.Kind {
+	case "allocs":
+		return fmt.Sprintf("%s: allocs/op %0.f -> %.0f (zero-alloc contract broken)", r.Name, r.Old, r.New)
+	default:
+		pct := 100 * (r.New - r.Old) / r.Old
+		return fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%)", r.Name, r.Old, r.New, pct)
+	}
+}
+
+// Compare flags regressions of new against old:
+//
+//   - ns/op more than nsTolPct percent above the old value. Wall time
+//     only transfers between identical machines, so time comparisons
+//     are skipped entirely when the two reports' cpu strings differ
+//     (e.g. a laptop-committed baseline checked on a CI runner).
+//   - allocs/op greater than zero where the old run measured exactly
+//     zero. The zero-alloc contract is machine-independent, so this
+//     check always runs; it is the one a hard-real-time loop cares
+//     about most.
+//
+// Benchmarks present on only one side are ignored: additions and
+// removals are legitimate evolution, not regressions.
+func Compare(old, new *Report, nsTolPct float64) []Regression {
+	var regs []Regression
+	sameCPU := old.CPU != "" && old.CPU == new.CPU
+	for _, n := range new.Results {
+		o := old.Find(n.Name)
+		if o == nil {
+			continue
+		}
+		if sameCPU && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+nsTolPct/100) {
+			regs = append(regs, Regression{Name: n.Name, Kind: "time", Old: o.NsPerOp, New: n.NsPerOp})
+		}
+		if o.HasMem && n.HasMem && o.AllocsPerOp == 0 && n.AllocsPerOp > 0 {
+			regs = append(regs, Regression{Name: n.Name, Kind: "allocs", Old: 0, New: float64(n.AllocsPerOp)})
+		}
+	}
+	return regs
+}

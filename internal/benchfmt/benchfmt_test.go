@@ -1,0 +1,151 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: boresight
+cpu: Intel(R) Xeon(R) CPU @ 2.20GHz
+BenchmarkMonteCarloWorkers1-4   	       1	512690324 ns/op	453582600 B/op	 5068559 allocs/op
+--- BENCH: BenchmarkMonteCarloWorkers1-4
+    bench_test.go:277: workers=1 (0 = all 4 CPUs): static coverage 100.0%
+BenchmarkAffineSerial-4         	      96	  12082926 ns/op	 2459312 B/op	      26 allocs/op
+BenchmarkKalmanStep             	  500000	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem                  	    1000	   1000000 ns/op
+PASS
+ok  	boresight	12.3s
+`
+
+func parseSample(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParse(t *testing.T) {
+	rep := parseSample(t)
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("header = %q/%q/%q", rep.GOOS, rep.GOARCH, rep.CPU)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(rep.Results))
+	}
+	mc := rep.Find("BenchmarkMonteCarloWorkers1")
+	if mc == nil {
+		t.Fatal("MonteCarloWorkers1 not found (GOMAXPROCS suffix not stripped?)")
+	}
+	if mc.Runs != 1 || mc.NsPerOp != 512690324 || mc.BytesPerOp != 453582600 || mc.AllocsPerOp != 5068559 || !mc.HasMem {
+		t.Errorf("MonteCarloWorkers1 = %+v", *mc)
+	}
+	if k := rep.Find("BenchmarkKalmanStep"); k == nil || k.AllocsPerOp != 0 || !k.HasMem {
+		t.Errorf("KalmanStep = %+v", k)
+	}
+	if n := rep.Find("BenchmarkNoMem"); n == nil || n.HasMem {
+		t.Errorf("NoMem should have HasMem=false, got %+v", n)
+	}
+}
+
+func TestParseMergesRepeatedCounts(t *testing.T) {
+	// `go test -count 3` repeats each benchmark; the report should fold
+	// the repetitions into min ns/op and max B/op / allocs/op.
+	const repeated = `goos: linux
+BenchmarkHot-4   	      10	  12000000 ns/op	     100 B/op	       2 allocs/op
+BenchmarkHot-4   	      10	   9000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHot-4   	      10	  15000000 ns/op	      50 B/op	       1 allocs/op
+`
+	rep, err := Parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results, want 1 merged", len(rep.Results))
+	}
+	h := rep.Find("BenchmarkHot")
+	if h.NsPerOp != 9000000 {
+		t.Errorf("NsPerOp = %v, want min 9000000", h.NsPerOp)
+	}
+	if h.BytesPerOp != 100 || h.AllocsPerOp != 2 {
+		t.Errorf("mem = %d B/op %d allocs/op, want max 100/2", h.BytesPerOp, h.AllocsPerOp)
+	}
+	if h.Runs != 30 || !h.HasMem {
+		t.Errorf("Runs = %d HasMem = %v, want 30/true", h.Runs, h.HasMem)
+	}
+}
+
+func TestParseEmptyFails(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("expected error for input with no benchmark lines")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := parseSample(t)
+	fresh := parseSample(t)
+
+	// Identical reports: no regressions.
+	if regs := Compare(old, fresh, 15); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Time regression beyond tolerance on the same CPU.
+	fresh.Find("BenchmarkAffineSerial").NsPerOp *= 1.5
+	regs := Compare(old, fresh, 15)
+	if len(regs) != 1 || regs[0].Kind != "time" || regs[0].Name != "BenchmarkAffineSerial" {
+		t.Fatalf("regressions = %v", regs)
+	}
+
+	// Within tolerance: quiet.
+	fresh.Find("BenchmarkAffineSerial").NsPerOp = old.Find("BenchmarkAffineSerial").NsPerOp * 1.10
+	if regs := Compare(old, fresh, 15); len(regs) != 0 {
+		t.Fatalf("within-tolerance flagged: %v", regs)
+	}
+
+	// Zero-alloc contract break.
+	fresh.Find("BenchmarkKalmanStep").AllocsPerOp = 3
+	regs = Compare(old, fresh, 15)
+	if len(regs) != 1 || regs[0].Kind != "allocs" || regs[0].New != 3 {
+		t.Fatalf("regressions = %v", regs)
+	}
+
+	// A nonzero-baseline alloc increase is NOT a zero-alloc break.
+	fresh.Find("BenchmarkKalmanStep").AllocsPerOp = 0
+	fresh.Find("BenchmarkAffineSerial").AllocsPerOp = 100
+	if regs := Compare(old, fresh, 15); len(regs) != 0 {
+		t.Fatalf("nonzero-baseline alloc growth flagged: %v", regs)
+	}
+}
+
+func TestCompareSkipsTimeAcrossCPUs(t *testing.T) {
+	old := parseSample(t)
+	fresh := parseSample(t)
+	fresh.CPU = "AMD EPYC 7B13"
+	fresh.Find("BenchmarkAffineSerial").NsPerOp *= 10
+	fresh.Find("BenchmarkKalmanStep").AllocsPerOp = 1
+	regs := Compare(old, fresh, 15)
+	if len(regs) != 1 || regs[0].Kind != "allocs" {
+		t.Fatalf("cross-CPU compare should keep only alloc regressions, got %v", regs)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":    "BenchmarkFoo",
+		"BenchmarkFoo-16":   "BenchmarkFoo",
+		"BenchmarkFoo":      "BenchmarkFoo",
+		"BenchmarkFoo-bar":  "BenchmarkFoo-bar",
+		"BenchmarkFoo-8x":   "BenchmarkFoo-8x",
+		"BenchmarkWorkers1": "BenchmarkWorkers1",
+		"BenchmarkFoo-":     "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"boresight/internal/geom"
+)
+
+// TestEstimatorStepAllocFree pins the estimator's zero-allocation
+// contract: after construction and a warm-up step (which sizes the
+// Kalman measurement scratch), StepFull must not touch the heap — with
+// every optional feature enabled, since each adds hot-loop work.
+func TestEstimatorStepAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EstimateLever = true
+	cfg.Adaptive = true
+	cfg.BumpRecovery = true
+	e := New(cfg)
+
+	f := geom.Vec3{0.3, -0.2, -9.81}
+	w := geom.Vec3{0.05, -0.02, 0.3}
+	const dt = 0.01
+	accX, accY := 0.31, -0.18
+
+	// Warm-up: size the measurement scratch and settle the low-pass.
+	for i := 0; i < 10; i++ {
+		if _, err := e.StepFull(dt, f, w, accX, accY); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := e.StepFull(dt, f, w, accX, accY); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("StepFull: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestMultiStepAllocFree pins the stacked multi-sensor update's
+// zero-allocation fast path: with every sensor reporting, Step reuses
+// the full-epoch scratch and allocates nothing.
+func TestMultiStepAllocFree(t *testing.T) {
+	m := NewMulti(3, DefaultConfig())
+	f := geom.Vec3{0.3, -0.2, -9.81}
+	readings := []Reading{
+		{FX: 0.31, FY: -0.18, Valid: true},
+		{FX: 0.28, FY: -0.21, Valid: true},
+		{FX: 0.33, FY: -0.19, Valid: true},
+	}
+	const dt = 0.01
+	for i := 0; i < 10; i++ {
+		if err := m.Step(dt, f, readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := m.Step(dt, f, readings); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step (all sensors valid): %v allocs/run, want 0", allocs)
+	}
+
+	// A dropout epoch may allocate, but must still be processed
+	// correctly and must not poison the fast path afterwards.
+	dropped := []Reading{readings[0], {Valid: false}, readings[2]}
+	if err := m.Step(dt, f, dropped); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // re-warm the stacked dimension scratch
+		if err := m.Step(dt, f, readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs = testing.AllocsPerRun(500, func() {
+		if err := m.Step(dt, f, readings); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step after dropout recovery: %v allocs/run, want 0", allocs)
+	}
+}

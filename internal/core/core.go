@@ -163,6 +163,17 @@ type Estimator struct {
 	exRun        int
 	bumps        int
 	bumpCooldown int
+
+	// Per-step scratch, allocated once in New. Every position written in
+	// StepFull is rewritten on every step (the optional blocks are fixed
+	// at construction), so reuse is safe and the hot loop never touches
+	// the heap — see TestEstimatorStepAllocFree.
+	qd   *mat.Mat // process-noise diagonal (n×n; off-diagonals stay zero)
+	jacH *mat.Mat // measurement Jacobian (2×n)
+	rMat *mat.Mat // measurement noise (2×2 diagonal)
+	zbuf []float64
+	hbuf []float64
+	xbuf []float64
 }
 
 // bumpThreshold is the consecutive-exceedance run that triggers a
@@ -233,6 +244,12 @@ func New(cfg Config) *Estimator {
 		w = 200
 	}
 	e.exceed = make([]bool, w)
+	e.qd = mat.New(n, n)
+	e.jacH = mat.New(2, n)
+	e.rMat = mat.New(2, 2)
+	e.zbuf = make([]float64, 2)
+	e.hbuf = make([]float64, 2)
+	e.xbuf = make([]float64, n)
 	return e
 }
 
@@ -273,25 +290,30 @@ func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY floa
 		return kalman.Innovation{}, fmt.Errorf("core: non-positive dt %v", dt)
 	}
 	// Process model: random walk.
-	q := make([]float64, e.n)
-	q[ixA0] = e.cfg.AngleWalk * e.cfg.AngleWalk * dt
-	q[ixA1], q[ixA2] = q[ixA0], q[ixA0]
+	qa := e.cfg.AngleWalk * e.cfg.AngleWalk * dt
+	e.qd.Set(ixA0, ixA0, qa)
+	e.qd.Set(ixA1, ixA1, qa)
+	e.qd.Set(ixA2, ixA2, qa)
 	if e.ibx >= 0 {
-		q[e.ibx] = e.cfg.BiasWalk * e.cfg.BiasWalk * dt
-		q[e.iby] = q[e.ibx]
+		qb := e.cfg.BiasWalk * e.cfg.BiasWalk * dt
+		e.qd.Set(e.ibx, e.ibx, qb)
+		e.qd.Set(e.iby, e.iby, qb)
 	}
 	if e.isx >= 0 {
-		q[e.isx] = e.cfg.ScaleWalk * e.cfg.ScaleWalk * dt
-		q[e.isy] = q[e.isx]
+		qs := e.cfg.ScaleWalk * e.cfg.ScaleWalk * dt
+		e.qd.Set(e.isx, e.isx, qs)
+		e.qd.Set(e.isy, e.isy, qs)
 	}
 	if e.ilv >= 0 {
+		ql := e.cfg.LeverWalk * e.cfg.LeverWalk * dt
 		for k := 0; k < 3; k++ {
-			q[e.ilv+k] = e.cfg.LeverWalk * e.cfg.LeverWalk * dt
+			e.qd.Set(e.ilv+k, e.ilv+k, ql)
 		}
 	}
-	e.kf.PredictAdditive(mat.Diag(q...))
+	e.kf.PredictAdditive(e.qd)
 
-	x := e.kf.State()
+	e.kf.StateInto(e.xbuf)
+	x := e.xbuf
 
 	// Body-frame force at the ACC's location: the IMU measurement plus
 	// the centripetal difference over the estimated lever arm.
@@ -322,13 +344,12 @@ func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY floa
 	if e.isx >= 0 {
 		sx, sy = x[e.isx], x[e.isy]
 	}
-	h := []float64{
-		(1+sx)*fs[0] + bx,
-		(1+sy)*fs[1] + by,
-	}
+	e.hbuf[0] = (1+sx)*fs[0] + bx
+	e.hbuf[1] = (1+sy)*fs[1] + by
+	h := e.hbuf
 	// Jacobian: f_s(true) = (I − [δa×])·f̂_s = f̂_s + [f̂_s×]·δa,
 	// evaluated with the low-passed force (see fsLP).
-	H := mat.New(2, e.n)
+	H := e.jacH
 	H.Set(0, ixA0, 0)
 	H.Set(0, ixA1, (1+sx)*(-fj[2]))
 	H.Set(0, ixA2, (1+sx)*fj[1])
@@ -358,8 +379,11 @@ func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY floa
 		}
 	}
 	r := e.measNoise * e.measNoise
-	R := mat.Diag(r, r)
-	z := []float64{accX, accY}
+	e.rMat.Set(0, 0, r)
+	e.rMat.Set(1, 1, r)
+	R := e.rMat
+	e.zbuf[0], e.zbuf[1] = accX, accY
+	z := e.zbuf
 
 	// Innovation gate: an outlier that slipped past the transport
 	// checksums would slam the state; reject anything implausibly far
@@ -392,7 +416,8 @@ func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY floa
 
 	// Fold the small-angle correction into the attitude and zero it in
 	// the error state, keeping the linearisation point current.
-	x = e.kf.State()
+	e.kf.StateInto(e.xbuf)
+	x = e.xbuf
 	da := geom.Vec3{x[ixA0], x[ixA1], x[ixA2]}
 	if n := da.Norm(); n > 0 {
 		e.att = e.att.Mul(geom.QuatFromAxisAngle(da, n))

@@ -26,6 +26,21 @@ type MultiEstimator struct {
 	per     int // states per sensor
 	// Shared low-passed sensor-frame force per sensor for the Jacobian.
 	steps int
+
+	// Per-epoch scratch, allocated once in NewMulti. The stacked z/h/R
+	// diagonal buffers have capacity for every sensor; the full Jacobian
+	// and noise matrices serve the all-sensors-valid fast path (the
+	// steady state), where the set of written positions is identical
+	// every epoch. Dropout epochs change the stacked dimension, so they
+	// fall back to allocating right-sized matrices — rare by
+	// construction, and correctness never depends on the fast path.
+	qd    *mat.Mat
+	xbuf  []float64
+	zbuf  []float64
+	hbuf  []float64
+	rbuf  []float64
+	hFull *mat.Mat // 2S×n Jacobian
+	rFull *mat.Mat // 2S×2S noise (off-diagonals stay zero)
 }
 
 type sensorBlock struct {
@@ -72,6 +87,13 @@ func NewMulti(n int, cfg Config) *MultiEstimator {
 		}
 	}
 	m.kf.SetP(mat.Diag(diag...))
+	m.qd = mat.New(n*per, n*per)
+	m.xbuf = make([]float64, n*per)
+	m.zbuf = make([]float64, 0, 2*n)
+	m.hbuf = make([]float64, 0, 2*n)
+	m.rbuf = make([]float64, 0, 2*n)
+	m.hFull = mat.New(2*n, n*per)
+	m.rFull = mat.New(2*n, 2*n)
 	return m
 }
 
@@ -97,23 +119,26 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 	n := m.kf.Dim()
 
 	// Process noise.
-	q := make([]float64, n)
 	for s := range m.sensors {
 		base := m.sensors[s].base
-		q[base] = m.cfg.AngleWalk * m.cfg.AngleWalk * dt
-		q[base+1], q[base+2] = q[base], q[base]
+		qa := m.cfg.AngleWalk * m.cfg.AngleWalk * dt
+		m.qd.Set(base, base, qa)
+		m.qd.Set(base+1, base+1, qa)
+		m.qd.Set(base+2, base+2, qa)
 		idx := base + 3
 		if m.cfg.EstimateBias {
-			q[idx] = m.cfg.BiasWalk * m.cfg.BiasWalk * dt
-			q[idx+1] = q[idx]
+			qb := m.cfg.BiasWalk * m.cfg.BiasWalk * dt
+			m.qd.Set(idx, idx, qb)
+			m.qd.Set(idx+1, idx+1, qb)
 			idx += 2
 		}
 		if m.cfg.EstimateScale {
-			q[idx] = m.cfg.ScaleWalk * m.cfg.ScaleWalk * dt
-			q[idx+1] = q[idx]
+			qs := m.cfg.ScaleWalk * m.cfg.ScaleWalk * dt
+			m.qd.Set(idx, idx, qs)
+			m.qd.Set(idx+1, idx+1, qs)
 		}
 	}
-	m.kf.PredictAdditive(mat.Diag(q...))
+	m.kf.PredictAdditive(m.qd)
 
 	// Count active rows.
 	active := 0
@@ -127,11 +152,21 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 		return nil
 	}
 
-	x := m.kf.State()
-	z := make([]float64, 0, 2*active)
-	h := make([]float64, 0, 2*active)
-	H := mat.New(2*active, n)
-	rdiag := make([]float64, 0, 2*active)
+	m.kf.StateInto(m.xbuf)
+	x := m.xbuf
+	z := m.zbuf[:0]
+	h := m.hbuf[:0]
+	rdiag := m.rbuf[:0]
+	// Fast path: every sensor valid (the steady state) reuses the full
+	// Jacobian — the positions written below are the same every full
+	// epoch, so stale contents are always overwritten. A dropout epoch
+	// has a different stacked shape and allocates a right-sized matrix.
+	var H *mat.Mat
+	if active == len(m.sensors) {
+		H = m.hFull
+	} else {
+		H = mat.New(2*active, n)
+	}
 	row := 0
 	const tau = 0.5
 	alpha := dt / (tau + dt)
@@ -180,12 +215,22 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 		row += 2
 	}
 
-	if _, err := m.kf.Update(z, h, H, mat.Diag(rdiag...)); err != nil {
+	var R *mat.Mat
+	if active == len(m.sensors) {
+		R = m.rFull
+		for i, v := range rdiag {
+			R.Set(i, i, v)
+		}
+	} else {
+		R = mat.Diag(rdiag...)
+	}
+	if _, err := m.kf.Update(z, h, H, R); err != nil {
 		return err
 	}
 
 	// Fold each sensor's angle correction and zero its error state.
-	x = m.kf.State()
+	m.kf.StateInto(m.xbuf)
+	x = m.xbuf
 	for s := range m.sensors {
 		base := m.sensors[s].base
 		da := geom.Vec3{x[base], x[base+1], x[base+2]}

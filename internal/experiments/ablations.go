@@ -37,15 +37,21 @@ func AblationFixedPoint(w io.Writer, workers int) []FixedPointRow {
 	fmt.Fprintf(w, "%10s %12s %14s\n", "angle (°)", "PSNR (dB)", "mean |diff|")
 	angles := []float64{0.5, 1, 2, 5, 10, 20}
 	rows := make([]FixedPointRow, len(angles))
+	// Sweep items already run on the worker pool, so each transform
+	// renders serially into frames recycled across items.
+	pool := video.NewFramePool(src.W, src.H)
 	parallel.For(len(angles), workers, func(i int) {
 		p := affine.Params{Theta: geom.Deg2Rad(angles[i])}
-		fx := ft.Transform(src, p)
-		fl := affine.TransformFloat(src, p, false)
+		fx, fl := pool.Get(), pool.Get()
+		ft.TransformInto(fx, src, p, 1)
+		affine.TransformFloatInto(fl, src, p, false, 1)
 		rows[i] = FixedPointRow{
 			AngleDeg:    angles[i],
 			PSNRdB:      video.PSNR(fx, fl),
 			MeanAbsDiff: video.MeanAbsDiff(fx, fl),
 		}
+		pool.Put(fx)
+		pool.Put(fl)
 	})
 	for _, row := range rows {
 		fmt.Fprintf(w, "%10.1f %12.2f %14.3f\n", row.AngleDeg, row.PSNRdB, row.MeanAbsDiff)
@@ -70,14 +76,18 @@ func AblationLUTSize(w io.Writer, workers int) []LUTRow {
 	fmt.Fprintf(w, "%8s %14s %16s\n", "entries", "max trig err", "img mean |diff|")
 	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
 	rows := make([]LUTRow, len(sizes))
+	pool := video.NewFramePool(src.W, src.H)
 	parallel.For(len(sizes), workers, func(i int) {
 		lut := fixed.NewTrig(sizes[i], fixed.TrigFrac)
 		ft := affine.NewFixedTransformer(lut)
+		fx := pool.Get()
+		ft.TransformInto(fx, src, p, 1)
 		rows[i] = LUTRow{
 			Size:        sizes[i],
 			MaxTrigErr:  lut.MaxError(),
-			MeanAbsDiff: video.MeanAbsDiff(ft.Transform(src, p), ref),
+			MeanAbsDiff: video.MeanAbsDiff(fx, ref),
 		}
+		pool.Put(fx)
 	})
 	for _, row := range rows {
 		fmt.Fprintf(w, "%8d %14.6f %16.3f\n", row.Size, row.MaxTrigErr, row.MeanAbsDiff)

@@ -8,6 +8,21 @@
 // models (the boresight rotation) supply their own predicted measurement
 // and Jacobian per update, which makes this the "extended" form without
 // the package needing to know the model.
+//
+// # Performance model
+//
+// Every step of the filter runs against a per-filter scratch workspace
+// (allocated lazily, reused for every subsequent step with the same
+// measurement dimension), so Predict, PredictAdditive, Update and
+// InnovationOnly perform zero heap allocations in steady state — the
+// property the paper's hard-real-time fusion loop depends on and that
+// TestKalmanStepsAllocFree pins down with testing.AllocsPerRun. The
+// price of buffer reuse is an aliasing rule: the Innovation returned by
+// Update/InnovationOnly borrows the workspace, so its Residual, S and
+// Sigma fields are only valid until the filter's next Update or
+// InnovationOnly call. Callers that need the history copy the values
+// out (scalars, or Clone for S), which is what every caller in this
+// repository already did.
 package kalman
 
 import (
@@ -27,22 +42,85 @@ var ErrIllConditioned = errors.New("kalman: innovation covariance not positive d
 type Filter struct {
 	x []float64
 	p *mat.Mat
+
+	// Predict scratch, sized by the state dimension at construction.
+	xtmp  []float64
+	fp    *mat.Mat // F·P
+	tmpNN *mat.Mat // general n×n temporary
+	ikh   *mat.Mat // I − K·H
+
+	// Update scratch, sized by the measurement dimension on first use
+	// (and re-sized only if a later update changes dimension — steady
+	// state never does).
+	m     int
+	nu    []float64 // innovation z − h
+	sigma []float64 // sqrt(diag(S))
+	sol   []float64 // S⁻¹·ν for the Mahalanobis distance
+	knu   []float64 // K·ν
+	work  []float64 // Cholesky solve column buffer (length m)
+	pht   *mat.Mat  // P·Hᵀ (n×m)
+	kt    *mat.Mat  // Kᵀ (m×n)
+	k     *mat.Mat  // gain (n×m)
+	s     *mat.Mat  // innovation covariance (m×m)
+	kr    *mat.Mat  // K·R (n×m)
+	chol  *mat.Cholesky
 }
 
 // New returns a filter with n states, zero estimate and zero covariance.
 // Callers seed the covariance with SetP or InflateDiag before use.
 func New(n int) *Filter {
-	return &Filter{x: make([]float64, n), p: mat.New(n, n)}
+	return &Filter{
+		x:     make([]float64, n),
+		p:     mat.New(n, n),
+		xtmp:  make([]float64, n),
+		fp:    mat.New(n, n),
+		tmpNN: mat.New(n, n),
+		ikh:   mat.New(n, n),
+	}
+}
+
+// ensureScratch sizes the measurement-dimension scratch buffers. Cheap
+// after the first call with a given m; only a dimension change (a
+// different sensor set coming online in the multi-sensor filter)
+// reallocates.
+func (f *Filter) ensureScratch(m int) {
+	if f.m == m {
+		return
+	}
+	n := len(f.x)
+	f.m = m
+	f.nu = make([]float64, m)
+	f.sigma = make([]float64, m)
+	f.sol = make([]float64, m)
+	f.knu = make([]float64, n)
+	f.work = make([]float64, m)
+	f.pht = mat.New(n, m)
+	f.kt = mat.New(m, n)
+	f.k = mat.New(n, m)
+	f.s = mat.New(m, m)
+	f.kr = mat.New(n, m)
+	f.chol = mat.NewCholesky(m)
 }
 
 // Dim returns the state dimension.
 func (f *Filter) Dim() int { return len(f.x) }
 
-// State returns a copy of the state estimate.
+// State returns a copy of the state estimate. See StateInto for the
+// allocation-free form.
 func (f *Filter) State() []float64 {
 	out := make([]float64, len(f.x))
 	copy(out, f.x)
 	return out
+}
+
+// StateInto copies the state estimate into dst, which must have length
+// Dim. It allocates nothing; hot loops that snapshot the state every
+// step use this with a reused buffer.
+func (f *Filter) StateInto(dst []float64) {
+	if len(dst) != len(f.x) {
+		panic(fmt.Sprintf("kalman: StateInto got %d-buffer for %d states", len(dst), len(f.x)))
+	}
+	copy(dst, f.x)
 }
 
 // SetState overwrites the state estimate.
@@ -53,8 +131,15 @@ func (f *Filter) SetState(x []float64) {
 	copy(f.x, x)
 }
 
-// P returns a copy of the covariance matrix.
+// P returns a copy of the covariance matrix. See PInto for the
+// allocation-free form.
 func (f *Filter) P() *mat.Mat { return f.p.Clone() }
+
+// PInto copies the covariance matrix into dst, which must be Dim×Dim.
+// It allocates nothing.
+func (f *Filter) PInto(dst *mat.Mat) {
+	dst.Copy(f.p)
+}
 
 // SetP overwrites the covariance matrix.
 func (f *Filter) SetP(p *mat.Mat) {
@@ -69,20 +154,22 @@ func (f *Filter) SetP(p *mat.Mat) {
 func (f *Filter) Sigma(i int) float64 { return math.Sqrt(f.p.At(i, i)) }
 
 // Predict propagates the filter through the transition x ← F·x,
-// P ← F·P·Fᵀ + Q.
+// P ← F·P·Fᵀ + Q. It allocates nothing.
 func (f *Filter) Predict(F, Q *mat.Mat) {
-	copy(f.x, F.MulVec(f.x))
-	fp := F.Mul(f.p)
-	f.p = fp.MulT(F).AddM(Q)
+	mat.MulVecTo(f.xtmp, F, f.x)
+	copy(f.x, f.xtmp)
+	mat.MulTo(f.fp, F, f.p)
+	mat.MulTTo(f.p, f.fp, F)
+	mat.AddMTo(f.p, f.p, Q)
 	f.p.Symmetrize()
 }
 
 // PredictAdditive is the random-walk special case F = I: the estimate is
 // unchanged and P ← P + Q. The boresight filter's states (misalignment
 // angles, instrument biases) are modelled as near-constants, so this is
-// its whole process model.
+// its whole process model. It allocates nothing.
 func (f *Filter) PredictAdditive(Q *mat.Mat) {
-	f.p = f.p.AddM(Q)
+	mat.AddMTo(f.p, f.p, Q)
 	f.p.Symmetrize()
 }
 
@@ -90,6 +177,10 @@ func (f *Filter) PredictAdditive(Q *mat.Mat) {
 // pre-update residual, its covariance, per-component sigmas, and the
 // normalised (Mahalanobis) distance. The paper's Figure 8 plots exactly
 // Residual[i] against ±3·Sigma[i].
+//
+// The slices and matrix borrow the filter's scratch workspace: they are
+// valid until the filter's next Update or InnovationOnly call. Copy out
+// (or Clone S) to keep a history.
 type Innovation struct {
 	// Residual is z − h(x̂), the measurement-space surprise.
 	Residual []float64
@@ -114,11 +205,34 @@ func (in Innovation) Exceeds3Sigma() bool {
 	return false
 }
 
+// innovate fills the innovation scratch (nu, pht, s, chol, sigma, sol)
+// for a measurement and returns the statistics; shared by Update and
+// InnovationOnly.
+func (f *Filter) innovate(z, h []float64, H, R *mat.Mat) (Innovation, error) {
+	m := len(z)
+	f.ensureScratch(m)
+	mat.SubVecTo(f.nu, z, h)
+	mat.MulTTo(f.pht, f.p, H) // n×m
+	mat.MulTo(f.s, H, f.pht)  // m×m
+	mat.AddMTo(f.s, f.s, R)
+	f.s.Symmetrize()
+	if err := f.chol.Factorize(f.s); err != nil {
+		return Innovation{}, ErrIllConditioned
+	}
+	for i := range f.sigma {
+		f.sigma[i] = math.Sqrt(f.s.At(i, i))
+	}
+	f.chol.SolveVecTo(f.sol, f.nu)
+	maha := math.Sqrt(math.Max(0, mat.Dot(f.nu, f.sol)))
+	return Innovation{Residual: f.nu, S: f.s, Sigma: f.sigma, Mahalanobis: maha}, nil
+}
+
 // Update applies a measurement z with predicted value h = h(x̂),
 // Jacobian H (m×n) and noise covariance R (m×m), using the Joseph
 // stabilised form so the covariance stays symmetric positive
 // semi-definite under roundoff. It returns the pre-update innovation
-// statistics.
+// statistics (valid until the next Update/InnovationOnly call — see
+// Innovation). It allocates nothing in steady state.
 func (f *Filter) Update(z, h []float64, H, R *mat.Mat) (Innovation, error) {
 	n := len(f.x)
 	m := len(z)
@@ -126,53 +240,40 @@ func (f *Filter) Update(z, h []float64, H, R *mat.Mat) (Innovation, error) {
 		panic(fmt.Sprintf("kalman: Update shape mismatch: z %d, h %d, H %dx%d, R %dx%d, n=%d",
 			m, len(h), H.Rows(), H.Cols(), R.Rows(), R.Cols(), n))
 	}
-	nu := mat.SubVec(z, h)
-
-	pht := f.p.MulT(H)      // n×m
-	s := H.Mul(pht).AddM(R) // m×m
-	s.Symmetrize()
-	chol, err := mat.CholeskyFactor(s)
+	inn, err := f.innovate(z, h, H, R)
 	if err != nil {
-		return Innovation{}, ErrIllConditioned
+		return inn, err
 	}
-	// K = P·Hᵀ·S⁻¹, computed as solving Sᵀ·Kᵀ = (P·Hᵀ)ᵀ column-wise.
-	k := chol.Solve(pht.T()).T() // n×m
 
-	// State update.
-	copy(f.x, mat.AddVec(f.x, k.MulVec(nu)))
+	// K = P·Hᵀ·S⁻¹, computed as solving S·Kᵀ = (P·Hᵀ)ᵀ column-wise
+	// (S is symmetric, so no transposed solve is needed).
+	mat.TransposeTo(f.kt, f.pht) // m×n
+	f.chol.SolveTo(f.kt, f.kt, f.work)
+	mat.TransposeTo(f.k, f.kt) // n×m
+
+	// State update: x ← x + K·ν.
+	mat.MulVecTo(f.knu, f.k, f.nu)
+	mat.AddVecTo(f.x, f.x, f.knu)
 
 	// Joseph form: P ← (I−KH)·P·(I−KH)ᵀ + K·R·Kᵀ.
-	ikh := mat.Identity(n).SubM(k.Mul(H))
-	f.p = ikh.Mul(f.p).MulT(ikh).AddM(k.Mul(R).MulT(k))
-	f.p.Symmetrize()
-
-	sigma := make([]float64, m)
-	for i := range sigma {
-		sigma[i] = math.Sqrt(s.At(i, i))
+	mat.MulTo(f.ikh, f.k, H) // K·H
+	mat.ScaleTo(f.ikh, -1, f.ikh)
+	for i := 0; i < n; i++ {
+		f.ikh.Add(i, i, 1)
 	}
-	sol := chol.SolveVec(nu)
-	maha := math.Sqrt(math.Max(0, mat.Dot(nu, sol)))
-	return Innovation{Residual: nu, S: s, Sigma: sigma, Mahalanobis: maha}, nil
+	mat.MulTo(f.tmpNN, f.ikh, f.p)
+	mat.MulTTo(f.p, f.tmpNN, f.ikh)
+	mat.MulTo(f.kr, f.k, R)        // n×m
+	mat.MulTTo(f.tmpNN, f.kr, f.k) // K·R·Kᵀ
+	mat.AddMTo(f.p, f.p, f.tmpNN)
+	f.p.Symmetrize()
+	return inn, nil
 }
 
 // InnovationOnly computes the innovation statistics for a measurement
 // without updating the filter — used for residual monitoring and for
-// gating experiments.
+// gating experiments. The returned Innovation borrows the same scratch
+// as Update (see Innovation). It allocates nothing in steady state.
 func (f *Filter) InnovationOnly(z, h []float64, H, R *mat.Mat) (Innovation, error) {
-	m := len(z)
-	nu := mat.SubVec(z, h)
-	pht := f.p.MulT(H)
-	s := H.Mul(pht).AddM(R)
-	s.Symmetrize()
-	chol, err := mat.CholeskyFactor(s)
-	if err != nil {
-		return Innovation{}, ErrIllConditioned
-	}
-	sigma := make([]float64, m)
-	for i := range sigma {
-		sigma[i] = math.Sqrt(s.At(i, i))
-	}
-	sol := chol.SolveVec(nu)
-	maha := math.Sqrt(math.Max(0, mat.Dot(nu, sol)))
-	return Innovation{Residual: nu, S: s, Sigma: sigma, Mahalanobis: maha}, nil
+	return f.innovate(z, h, H, R)
 }

@@ -170,32 +170,27 @@ func (m *Mat) Diagonal() []float64 {
 	return out
 }
 
-// AddM returns m + b as a new matrix.
+// AddM returns m + b as a new matrix. See AddMTo for the
+// destination-passing form.
 func (m *Mat) AddM(b *Mat) *Mat {
-	m.sameShape(b, "AddM")
 	out := New(m.rows, m.cols)
-	for i, v := range m.data {
-		out.data[i] = v + b.data[i]
-	}
+	AddMTo(out, m, b)
 	return out
 }
 
-// SubM returns m - b as a new matrix.
+// SubM returns m - b as a new matrix. See SubMTo for the
+// destination-passing form.
 func (m *Mat) SubM(b *Mat) *Mat {
-	m.sameShape(b, "SubM")
 	out := New(m.rows, m.cols)
-	for i, v := range m.data {
-		out.data[i] = v - b.data[i]
-	}
+	SubMTo(out, m, b)
 	return out
 }
 
-// Scale returns s*m as a new matrix.
+// Scale returns s*m as a new matrix. See ScaleTo for the
+// destination-passing form.
 func (m *Mat) Scale(s float64) *Mat {
 	out := New(m.rows, m.cols)
-	for i, v := range m.data {
-		out.data[i] = s * v
-	}
+	ScaleTo(out, s, m)
 	return out
 }
 
@@ -205,95 +200,50 @@ func (m *Mat) sameShape(b *Mat, op string) {
 	}
 }
 
-// Mul returns the matrix product m*b.
+// Mul returns the matrix product m*b. See MulTo for the
+// destination-passing form.
 func (m *Mat) Mul(b *Mat) *Mat {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d * %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.rows, b.cols)
-	for i := 0; i < m.rows; i++ {
-		for k := 0; k < m.cols; k++ {
-			a := m.data[i*m.cols+k]
-			if a == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			orow := out.data[i*b.cols : (i+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += a * bv
-			}
-		}
-	}
+	MulTo(out, m, b)
 	return out
 }
 
-// MulT returns m * bᵀ.
+// MulT returns m * bᵀ. See MulTTo for the destination-passing form.
 func (m *Mat) MulT(b *Mat) *Mat {
 	if m.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulT shape mismatch %dx%d * (%dx%d)ᵀ", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.rows, b.rows)
-	for i := 0; i < m.rows; i++ {
-		arow := m.data[i*m.cols : (i+1)*m.cols]
-		for j := 0; j < b.rows; j++ {
-			brow := b.data[j*b.cols : (j+1)*b.cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			out.data[i*b.rows+j] = s
-		}
-	}
+	MulTTo(out, m, b)
 	return out
 }
 
-// TMul returns mᵀ * b.
+// TMul returns mᵀ * b. See TMulTo for the destination-passing form.
 func (m *Mat) TMul(b *Mat) *Mat {
 	if m.rows != b.rows {
 		panic(fmt.Sprintf("mat: TMul shape mismatch (%dx%d)ᵀ * %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := New(m.cols, b.cols)
-	for k := 0; k < m.rows; k++ {
-		arow := m.data[k*m.cols : (k+1)*m.cols]
-		brow := b.data[k*b.cols : (k+1)*b.cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*b.cols : (i+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	TMulTo(out, m, b)
 	return out
 }
 
-// T returns the transpose of m as a new matrix.
+// T returns the transpose of m as a new matrix. See TransposeTo for the
+// destination-passing form.
 func (m *Mat) T() *Mat {
 	out := New(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			out.data[j*m.rows+i] = m.data[i*m.cols+j]
-		}
-	}
+	TransposeTo(out, m)
 	return out
 }
 
-// MulVec returns the matrix-vector product m*v.
+// MulVec returns the matrix-vector product m*v. See MulVecTo for the
+// destination-passing form.
 func (m *Mat) MulVec(v []float64) []float64 {
-	if m.cols != len(v) {
-		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d * %d-vector", m.rows, m.cols, len(v)))
-	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, a := range row {
-			s += a * v[j]
-		}
-		out[i] = s
-	}
+	MulVecTo(out, m, v)
 	return out
 }
 

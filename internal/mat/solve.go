@@ -14,26 +14,43 @@ var ErrSingular = errors.New("mat: matrix is singular")
 // symmetric positive definite.
 var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
 
-// LU holds the LU factorisation of a square matrix with partial pivoting:
-// P*A = L*U, where L is unit lower triangular and U upper triangular.
+// LU holds the LU factorisation of a square matrix with partial
+// pivoting: P*A = L*U, where L is unit lower triangular and U upper
+// triangular. The workspace is reusable: NewLU allocates it once and
+// Factorize refactors new matrices into the same storage, so a filter
+// that solves an n×n system every step allocates nothing after setup.
 type LU struct {
-	lu    *Mat  // packed L (below diag, unit diag implicit) and U (on/above diag)
-	piv   []int // row permutation
-	signs int   // permutation parity, +1 or -1
+	lu *Mat // packed L (below diag, unit diag implicit) and U (on/above diag)
+	// piv is the pivot swap sequence: at elimination step k, row k was
+	// swapped with row piv[k] (piv[k] == k when no swap occurred). The
+	// swap-sequence form — rather than a permutation vector — is what
+	// lets SolveVecTo apply the row permutation to a right-hand side
+	// fully in place.
+	piv   []int
+	signs int // permutation parity, +1 or -1
 }
 
-// Factor computes the LU factorisation of square a with partial pivoting.
-func Factor(a *Mat) (*LU, error) {
+// NewLU returns a reusable LU workspace for n×n systems. Call
+// Factorize to populate it.
+func NewLU(n int) *LU {
+	return &LU{lu: New(n, n), piv: make([]int, n), signs: 1}
+}
+
+// Factorize computes the LU factorisation of square a with partial
+// pivoting into the (reused) workspace, allocating nothing. a must
+// match the workspace dimension. On error the workspace contents are
+// undefined and must be refactorised before solving.
+func (f *LU) Factorize(a *Mat) error {
 	if a.rows != a.cols {
-		panic(fmt.Sprintf("mat: Factor on non-square %dx%d", a.rows, a.cols))
+		panic(fmt.Sprintf("mat: Factorize on non-square %dx%d", a.rows, a.cols))
 	}
-	n := a.rows
-	lu := a.Clone()
-	piv := make([]int, n)
-	for i := range piv {
-		piv[i] = i
+	n := f.lu.rows
+	if a.rows != n {
+		panic(fmt.Sprintf("mat: Factorize got %dx%d for %dx%d workspace", a.rows, a.cols, n, n))
 	}
-	signs := 1
+	f.lu.Copy(a)
+	f.signs = 1
+	lu := f.lu
 	for k := 0; k < n; k++ {
 		// Partial pivot: find the largest magnitude in column k at or
 		// below the diagonal.
@@ -45,16 +62,16 @@ func Factor(a *Mat) (*LU, error) {
 			}
 		}
 		if max == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
+		f.piv[k] = p
 		if p != k {
 			rowp := lu.data[p*n : (p+1)*n]
 			rowk := lu.data[k*n : (k+1)*n]
 			for j := range rowk {
 				rowk[j], rowp[j] = rowp[j], rowk[j]
 			}
-			piv[k], piv[p] = piv[p], piv[k]
-			signs = -signs
+			f.signs = -f.signs
 		}
 		pivot := lu.data[k*n+k]
 		for i := k + 1; i < n; i++ {
@@ -68,53 +85,92 @@ func Factor(a *Mat) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, signs: signs}, nil
+	return nil
 }
 
-// SolveVec solves A*x = b for one right-hand side.
-func (f *LU) SolveVec(b []float64) []float64 {
-	n := f.lu.rows
-	if len(b) != n {
-		panic(fmt.Sprintf("mat: SolveVec got %d-vector for %dx%d system", len(b), n, n))
+// Factor computes the LU factorisation of square a with partial
+// pivoting. See NewLU/Factorize for the allocation-free form.
+func Factor(a *Mat) (*LU, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: Factor on non-square %dx%d", a.rows, a.cols))
 	}
-	x := make([]float64, n)
-	// Apply permutation.
-	for i, p := range f.piv {
-		x[i] = b[p]
+	f := NewLU(a.rows)
+	if err := f.Factorize(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// SolveVecTo solves A*x = b into dst for one right-hand side,
+// allocating nothing. dst may alias b (the solve runs fully in place).
+func (f *LU) SolveVecTo(dst, b []float64) {
+	n := f.lu.rows
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("mat: SolveVecTo got dst %d, b %d for %dx%d system", len(dst), len(b), n, n))
+	}
+	copy(dst, b)
+	// Apply the pivot swaps in place.
+	for k, p := range f.piv {
+		if p != k {
+			dst[k], dst[p] = dst[p], dst[k]
+		}
 	}
 	// Forward substitution (L has unit diagonal).
 	for i := 1; i < n; i++ {
 		var s float64
 		row := f.lu.data[i*n : i*n+i]
 		for j, l := range row {
-			s += l * x[j]
+			s += l * dst[j]
 		}
-		x[i] -= s
+		dst[i] -= s
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
 		var s float64
 		for j := i + 1; j < n; j++ {
-			s += f.lu.data[i*n+j] * x[j]
+			s += f.lu.data[i*n+j] * dst[j]
 		}
-		x[i] = (x[i] - s) / f.lu.data[i*n+i]
+		dst[i] = (dst[i] - s) / f.lu.data[i*n+i]
 	}
-	return x
 }
 
-// Solve solves A*X = B column by column.
-func (f *LU) Solve(b *Mat) *Mat {
+// SolveVec solves A*x = b for one right-hand side. See SolveVecTo for
+// the allocation-free form.
+func (f *LU) SolveVec(b []float64) []float64 {
+	dst := make([]float64, f.lu.rows)
+	f.SolveVecTo(dst, b)
+	return dst
+}
+
+// SolveTo solves A*X = B column by column into dst using the
+// caller-owned work slice (length n), allocating nothing. dst may
+// alias b.
+func (f *LU) SolveTo(dst, b *Mat, work []float64) {
 	n := f.lu.rows
 	if b.rows != n {
-		panic(fmt.Sprintf("mat: Solve rhs has %d rows for %dx%d system", b.rows, n, n))
+		panic(fmt.Sprintf("mat: SolveTo rhs has %d rows for %dx%d system", b.rows, n, n))
 	}
-	out := New(n, b.cols)
+	b.sameShape(dst, "SolveTo")
+	if len(work) != n {
+		panic(fmt.Sprintf("mat: SolveTo work has %d elements, want %d", len(work), n))
+	}
 	for j := 0; j < b.cols; j++ {
-		x := f.SolveVec(b.Col(j))
-		for i, v := range x {
-			out.data[i*b.cols+j] = v
+		for i := 0; i < n; i++ {
+			work[i] = b.data[i*b.cols+j]
+		}
+		f.SolveVecTo(work, work)
+		for i, v := range work {
+			dst.data[i*b.cols+j] = v
 		}
 	}
+}
+
+// Solve solves A*X = B column by column. See SolveTo for the
+// allocation-free form.
+func (f *LU) Solve(b *Mat) *Mat {
+	n := f.lu.rows
+	out := New(n, b.cols)
+	f.SolveTo(out, b, make([]float64, n))
 	return out
 }
 
@@ -156,18 +212,30 @@ func Det(a *Mat) float64 {
 }
 
 // Cholesky holds the lower-triangular Cholesky factor L with A = L*Lᵀ.
+// Like LU, the workspace is reusable via NewCholesky/Factorize so the
+// per-step innovation solve in the Kalman filter allocates nothing.
 type Cholesky struct {
 	l *Mat
 }
 
-// CholeskyFactor computes the Cholesky factorisation of a symmetric
-// positive definite matrix.
-func CholeskyFactor(a *Mat) (*Cholesky, error) {
+// NewCholesky returns a reusable Cholesky workspace for n×n systems.
+func NewCholesky(n int) *Cholesky {
+	return &Cholesky{l: New(n, n)}
+}
+
+// Factorize computes the Cholesky factorisation of a symmetric
+// positive definite matrix into the (reused) workspace, allocating
+// nothing. a must match the workspace dimension. On error the
+// workspace contents are undefined.
+func (c *Cholesky) Factorize(a *Mat) error {
 	if a.rows != a.cols {
-		panic(fmt.Sprintf("mat: CholeskyFactor on non-square %dx%d", a.rows, a.cols))
+		panic(fmt.Sprintf("mat: Cholesky Factorize on non-square %dx%d", a.rows, a.cols))
 	}
-	n := a.rows
-	l := New(n, n)
+	n := c.l.rows
+	if a.rows != n {
+		panic(fmt.Sprintf("mat: Cholesky Factorize got %dx%d for %dx%d workspace", a.rows, a.cols, n, n))
+	}
+	l := c.l
 	for j := 0; j < n; j++ {
 		var d float64
 		for k := 0; k < j; k++ {
@@ -176,7 +244,7 @@ func CholeskyFactor(a *Mat) (*Cholesky, error) {
 		}
 		d = a.data[j*n+j] - d
 		if d <= 0 {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 		ljj := math.Sqrt(d)
 		l.data[j*n+j] = ljj
@@ -188,50 +256,88 @@ func CholeskyFactor(a *Mat) (*Cholesky, error) {
 			l.data[i*n+j] = (a.data[i*n+j] - s) / ljj
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return nil
+}
+
+// CholeskyFactor computes the Cholesky factorisation of a symmetric
+// positive definite matrix. See NewCholesky/Factorize for the
+// allocation-free form.
+func CholeskyFactor(a *Mat) (*Cholesky, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: CholeskyFactor on non-square %dx%d", a.rows, a.cols))
+	}
+	c := NewCholesky(a.rows)
+	if err := c.Factorize(a); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // L returns a copy of the lower-triangular factor.
 func (c *Cholesky) L() *Mat { return c.l.Clone() }
 
-// SolveVec solves A*x = b using the factorisation.
-func (c *Cholesky) SolveVec(b []float64) []float64 {
+// SolveVecTo solves A*x = b into dst using the factorisation,
+// allocating nothing. dst may alias b (the two triangular sweeps run
+// in place).
+func (c *Cholesky) SolveVecTo(dst, b []float64) {
 	n := c.l.rows
-	if len(b) != n {
-		panic(fmt.Sprintf("mat: Cholesky SolveVec got %d-vector for %dx%d system", len(b), n, n))
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("mat: Cholesky SolveVecTo got dst %d, b %d for %dx%d system", len(dst), len(b), n, n))
 	}
 	// Forward: L*y = b.
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		for j := 0; j < i; j++ {
-			s -= c.l.data[i*n+j] * y[j]
+			s -= c.l.data[i*n+j] * dst[j]
 		}
-		y[i] = s / c.l.data[i*n+i]
+		dst[i] = s / c.l.data[i*n+i]
 	}
 	// Back: Lᵀ*x = y.
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		s := dst[i]
 		for j := i + 1; j < n; j++ {
-			s -= c.l.data[j*n+i] * y[j]
+			s -= c.l.data[j*n+i] * dst[j]
 		}
-		y[i] = s / c.l.data[i*n+i]
+		dst[i] = s / c.l.data[i*n+i]
 	}
-	return y
 }
 
-// Solve solves A*X = B column by column.
-func (c *Cholesky) Solve(b *Mat) *Mat {
+// SolveVec solves A*x = b using the factorisation. See SolveVecTo for
+// the allocation-free form.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	dst := make([]float64, c.l.rows)
+	c.SolveVecTo(dst, b)
+	return dst
+}
+
+// SolveTo solves A*X = B column by column into dst using the
+// caller-owned work slice (length n), allocating nothing. dst may
+// alias b.
+func (c *Cholesky) SolveTo(dst, b *Mat, work []float64) {
 	n := c.l.rows
 	if b.rows != n {
-		panic(fmt.Sprintf("mat: Cholesky Solve rhs has %d rows for %dx%d system", b.rows, n, n))
+		panic(fmt.Sprintf("mat: Cholesky SolveTo rhs has %d rows for %dx%d system", b.rows, n, n))
 	}
-	out := New(n, b.cols)
+	b.sameShape(dst, "Cholesky SolveTo")
+	if len(work) != n {
+		panic(fmt.Sprintf("mat: Cholesky SolveTo work has %d elements, want %d", len(work), n))
+	}
 	for j := 0; j < b.cols; j++ {
-		x := c.SolveVec(b.Col(j))
-		for i, v := range x {
-			out.data[i*b.cols+j] = v
+		for i := 0; i < n; i++ {
+			work[i] = b.data[i*b.cols+j]
+		}
+		c.SolveVecTo(work, work)
+		for i, v := range work {
+			dst.data[i*b.cols+j] = v
 		}
 	}
+}
+
+// Solve solves A*X = B column by column. See SolveTo for the
+// allocation-free form.
+func (c *Cholesky) Solve(b *Mat) *Mat {
+	n := c.l.rows
+	out := New(n, b.cols)
+	c.SolveTo(out, b, make([]float64, n))
 	return out
 }

@@ -1,0 +1,57 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into
+// the repo's command-line tools. The hot paths are tuned by profile
+// (see DESIGN.md "Performance model"); this package makes capturing
+// those profiles a one-flag affair on any experiment run:
+//
+//	go run ./cmd/experiments -run montecarlo -cpuprofile cpu.prof
+//	go tool pprof cpu.prof
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap
+// profile to memPath (if non-empty). The stop function must run after
+// the workload; defer it from main. Either path may be empty, in which
+// case that profile is skipped and stop may still be called safely.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// An up-to-date heap profile shows steady-state live
+			// objects rather than whatever the last GC cycle left.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

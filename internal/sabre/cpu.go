@@ -55,15 +55,19 @@ type CPU struct {
 	Instret uint64 // instructions retired
 	Halted  bool
 
-	periphs map[uint32]Peripheral
+	// periphs is a dense dispatch table indexed by
+	// (base − DataBytes) / periphSpan, grown by Map. The hot bus path
+	// pays one bounds check and a nil test per peripheral access
+	// instead of a map hash — the software equivalent of the FPGA bus
+	// fabric's fixed address decoder.
+	periphs []Peripheral
 }
 
 // New returns a CPU with empty memories and no peripherals.
 func New() *CPU {
 	return &CPU{
-		Prog:    make([]uint32, ProgWords),
-		Data:    make([]byte, DataBytes),
-		periphs: make(map[uint32]Peripheral),
+		Prog: make([]uint32, ProgWords),
+		Data: make([]byte, DataBytes),
 	}
 }
 
@@ -73,7 +77,11 @@ func (c *CPU) Map(base uint32, p Peripheral) {
 	if base < DataBytes || base%periphSpan != 0 {
 		panic(fmt.Sprintf("sabre: bad peripheral base %#x", base))
 	}
-	c.periphs[base] = p
+	idx := (base - DataBytes) / periphSpan
+	for uint32(len(c.periphs)) <= idx {
+		c.periphs = append(c.periphs, nil)
+	}
+	c.periphs[idx] = p
 }
 
 // LoadProgram copies machine words into program memory from word 0 and
@@ -109,8 +117,10 @@ func (c *CPU) busLoad(addr uint32) (uint32, error) {
 			uint32(c.Data[addr+2])<<16 | uint32(c.Data[addr+3])<<24, nil
 	}
 	base := addr &^ uint32(periphSpan-1)
-	if p, ok := c.periphs[base]; ok {
-		return p.BusRead(addr - base), nil
+	if idx := (base - DataBytes) / periphSpan; base >= DataBytes && idx < uint32(len(c.periphs)) {
+		if p := c.periphs[idx]; p != nil {
+			return p.BusRead(addr - base), nil
+		}
 	}
 	return 0, fmt.Errorf("%w: load at %#x", ErrBusFault, addr)
 }
@@ -128,9 +138,11 @@ func (c *CPU) busStore(addr, v uint32) error {
 		return nil
 	}
 	base := addr &^ uint32(periphSpan-1)
-	if p, ok := c.periphs[base]; ok {
-		p.BusWrite(addr-base, v)
-		return nil
+	if idx := (base - DataBytes) / periphSpan; base >= DataBytes && idx < uint32(len(c.periphs)) {
+		if p := c.periphs[idx]; p != nil {
+			p.BusWrite(addr-base, v)
+			return nil
+		}
 	}
 	return fmt.Errorf("%w: store at %#x", ErrBusFault, addr)
 }

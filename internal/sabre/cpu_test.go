@@ -575,6 +575,73 @@ func TestMapValidation(t *testing.T) {
 	c.Map(0x100, &LEDs{}) // inside data RAM
 }
 
+// TestRunAllocFree pins the interpreter's zero-allocation contract:
+// executing a healthy program — ALU ops, RAM loads/stores and
+// peripheral bus accesses through the dense dispatch table — must not
+// touch the heap, so emulated cycle costs are not distorted by GC work.
+func TestRunAllocFree(t *testing.T) {
+	p := MustAssemble(`
+		li   r1, 0
+		li   r2, 500
+		li   r3, 0x00010000   ; LED bank
+		li   r4, 0x00010700   ; cycle counter
+	loop:
+		addi r1, r1, 1
+		sw   r1, 0(r3)        ; peripheral write
+		lw   r5, 0(r4)        ; peripheral read
+		sw   r1, 100(r0)      ; data RAM store
+		lw   r6, 100(r0)      ; data RAM load
+		blt  r1, r2, loop
+		halt
+	`)
+	c := New()
+	c.Map(LEDSBase, &LEDs{})
+	c.Map(CounterBase, &Counter{CPU: c})
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := c.LoadProgram(p.Words); err != nil {
+			panic(err)
+		}
+		if _, err := c.Run(1 << 30); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Run: %v allocs/run, want 0", allocs)
+	}
+	if c.R[1] != 500 {
+		t.Fatalf("loop counter = %d, want 500", c.R[1])
+	}
+}
+
+// BenchmarkCPUPeripheralLoop exercises the bus dispatch path: every
+// iteration performs a peripheral write and read alongside the ALU
+// work, measuring the dense-table decode against the instruction
+// baseline of BenchmarkCPULoop.
+func BenchmarkCPUPeripheralLoop(b *testing.B) {
+	p := MustAssemble(`
+		li   r1, 0
+		li   r2, 100000
+		li   r3, 0x00010000
+		li   r4, 0x00010700
+	loop:
+		addi r1, r1, 1
+		sw   r1, 0(r3)
+		lw   r5, 0(r4)
+		blt  r1, r2, loop
+		halt
+	`)
+	c := New()
+	c.Map(LEDSBase, &LEDs{})
+	c.Map(CounterBase, &Counter{CPU: c})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.LoadProgram(p.Words)
+		if _, err := c.Run(1 << 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCPULoop(b *testing.B) {
 	p := MustAssemble(`
 		li r1, 0

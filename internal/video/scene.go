@@ -1,6 +1,7 @@
 package video
 
 import (
+	"fmt"
 	"math"
 
 	"boresight/internal/parallel"
@@ -45,61 +46,39 @@ func (s RoadScene) Render() *Frame {
 // afterwards.
 func (s RoadScene) RenderWorkers(workers int) *Frame {
 	f := NewFrame(s.W, s.H)
+	s.RenderInto(f, workers)
+	return f
+}
+
+// RenderInto draws the scene into an existing frame, which must match
+// the scene dimensions. Every pixel is written (the band loop covers
+// the full raster before the posts draw over it), so the frame needs no
+// clearing and arbitrary stale contents — e.g. a frame recycled through
+// a FramePool — are fully overwritten. When the resolved worker count
+// is 1 it allocates nothing, which is what the per-frame hot path of
+// the stabilisation demo runs.
+func (s RoadScene) RenderInto(f *Frame, workers int) {
+	if f.W != s.W || f.H != s.H {
+		panic(fmt.Sprintf("video: RenderInto frame %dx%d for %dx%d scene", f.W, f.H, s.W, s.H))
+	}
 	horizon := s.H * 2 / 5
 	cx := float64(s.W) / 2
-	parallel.Bands(s.H, workers, func(y0, y1 int) {
-		for y := y0; y < y1; y++ {
-			for x := 0; x < s.W; x++ {
-				if y < horizon {
-					// Sky with a glow band just above the horizon.
-					if horizon-y < s.H/24 {
-						f.Set(x, y, horizonGlow)
-					} else {
-						f.Set(x, y, skyColor)
-					}
-					continue
-				}
-				// Perspective depth: 0 at horizon, 1 at the bottom.
-				depth := float64(y-horizon) / float64(s.H-horizon)
-				// Road half-width grows linearly with depth.
-				halfW := 0.06*float64(s.W) + depth*0.42*float64(s.W)
-				dx := float64(x) - cx
-				switch {
-				case math.Abs(dx) > halfW:
-					f.Set(x, y, grassColor)
-				case math.Abs(math.Abs(dx)-halfW) < 1.5+2.5*depth:
-					f.Set(x, y, edgeColor)
-				default:
-					f.Set(x, y, roadColor)
-				}
-			}
-			// Centre dashed lane marking with perspective spacing and
-			// the configured offset — row-local, so it rides in the
-			// same band as its base row.
-			if y >= horizon {
-				depth := float64(y-horizon) / float64(s.H-horizon)
-				if depth <= 0 {
-					continue
-				}
-				// Dash pattern in "world" distance: 1/depth as distance proxy.
-				world := 4 / (depth + 0.05)
-				if math.Mod(world, 2.4) > 1.2 {
-					continue
-				}
-				w := 1 + 3*depth
-				cxm := cx + s.LaneOffset*depth
-				for x := int(cxm - w); x <= int(cxm+w); x++ {
-					f.Set(x, y, laneColor)
-				}
-			}
-		}
-	})
+	if parallel.Resolve(workers) == 1 {
+		// Direct call: the banding closure below escapes to the worker
+		// goroutines and would cost one allocation even when no
+		// goroutine is ever spawned.
+		s.renderBand(f, horizon, cx, 0, s.H)
+	} else {
+		parallel.Bands(s.H, workers, func(y0, y1 int) {
+			s.renderBand(f, horizon, cx, y0, y1)
+		})
+	}
 	// Roadside posts at fixed depths.
-	for _, depth := range []float64{0.25, 0.5, 0.8} {
+	for _, depth := range [...]float64{0.25, 0.5, 0.8} {
 		y := horizon + int(depth*float64(s.H-horizon))
 		halfW := 0.06*float64(s.W) + depth*0.42*float64(s.W)
 		h := int(6 + 24*depth)
-		for _, side := range []float64{-1, 1} {
+		for _, side := range [...]float64{-1, 1} {
 			px := int(cx + side*(halfW+4+6*depth))
 			for yy := y - h; yy <= y; yy++ {
 				f.Set(px, yy, postColor)
@@ -107,7 +86,54 @@ func (s RoadScene) RenderWorkers(workers int) *Frame {
 			}
 		}
 	}
-	return f
+}
+
+func (s RoadScene) renderBand(f *Frame, horizon int, cx float64, y0, y1 int) {
+	for y := y0; y < y1; y++ {
+		for x := 0; x < s.W; x++ {
+			if y < horizon {
+				// Sky with a glow band just above the horizon.
+				if horizon-y < s.H/24 {
+					f.Set(x, y, horizonGlow)
+				} else {
+					f.Set(x, y, skyColor)
+				}
+				continue
+			}
+			// Perspective depth: 0 at horizon, 1 at the bottom.
+			depth := float64(y-horizon) / float64(s.H-horizon)
+			// Road half-width grows linearly with depth.
+			halfW := 0.06*float64(s.W) + depth*0.42*float64(s.W)
+			dx := float64(x) - cx
+			switch {
+			case math.Abs(dx) > halfW:
+				f.Set(x, y, grassColor)
+			case math.Abs(math.Abs(dx)-halfW) < 1.5+2.5*depth:
+				f.Set(x, y, edgeColor)
+			default:
+				f.Set(x, y, roadColor)
+			}
+		}
+		// Centre dashed lane marking with perspective spacing and
+		// the configured offset — row-local, so it rides in the
+		// same band as its base row.
+		if y >= horizon {
+			depth := float64(y-horizon) / float64(s.H-horizon)
+			if depth <= 0 {
+				continue
+			}
+			// Dash pattern in "world" distance: 1/depth as distance proxy.
+			world := 4 / (depth + 0.05)
+			if math.Mod(world, 2.4) > 1.2 {
+				continue
+			}
+			w := 1 + 3*depth
+			cxm := cx + s.LaneOffset*depth
+			for x := int(cxm - w); x <= int(cxm+w); x++ {
+				f.Set(x, y, laneColor)
+			}
+		}
+	}
 }
 
 // Checkerboard renders a calibration-target pattern, useful for
