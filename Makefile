@@ -24,6 +24,7 @@ race:
 # Short fuzz pass over the ADXL202 duty-cycle codec round-trip.
 fuzz:
 	$(GO) test -fuzz=FuzzDutyCycleCodec -fuzztime=30s ./internal/imu/
+	$(GO) test -run '^$$' -fuzz=FuzzEngineParity -fuzztime=30s ./internal/sabre/
 
 # Every paper table/figure and ablation as a benchmark, with logs.
 bench:

@@ -16,7 +16,9 @@ import (
 	"boresight/internal/affine"
 	"boresight/internal/experiments"
 	"boresight/internal/fixed"
+	"boresight/internal/fxcore"
 	"boresight/internal/geom"
+	"boresight/internal/sabre"
 	"boresight/internal/system"
 	"boresight/internal/video"
 )
@@ -323,3 +325,97 @@ func BenchmarkAffineSerial(b *testing.B) { benchmarkAffine(b, 1) }
 // BenchmarkAffineParallel renders the same frames banded across all
 // CPUs; output is bit-identical to the serial baseline.
 func BenchmarkAffineParallel(b *testing.B) { benchmarkAffine(b, 0) }
+
+// benchmarkSabreKalman runs the SoftFloat scalar Kalman program (the
+// paper's Section 10 workload) on a reusable emulated core with the
+// given engine. The program is loaded once; each iteration rewrites
+// the input memory, resets the core, and re-runs — the steady state of
+// a core re-triggered per sensor epoch, and allocation-free on both
+// engines (the fast engine's predecode survives Reset).
+func benchmarkSabreKalman(b *testing.B, eng sabre.Engine) {
+	prog, err := sabre.KalmanProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sabre.New()
+	c.Engine = eng
+	if err := c.LoadProgram(prog.Words); err != nil {
+		b.Fatal(err)
+	}
+	const n = 100
+	z := make([]float32, n)
+	for i := range z {
+		z[i] = 3.25 + float32((i*2654435761)%1000-500)/2000
+	}
+	run := func() {
+		sabre.SetKalmanInputs(c, 1e-6, 0.25, 100, 0, z)
+		c.Reset()
+		if _, err := c.Run(sabre.KalmanRunBudget(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm-up: pays the one-time predecode allocation
+	b.Logf("engine=%s: %d cycles/update, %d instructions/run",
+		eng, c.Cycles/n, c.Instret)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.Instret)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
+// BenchmarkSabreSoftFloatKalmanRef is the reference decode-per-step
+// interpreter baseline for the on-core Kalman workload.
+func BenchmarkSabreSoftFloatKalmanRef(b *testing.B) { benchmarkSabreKalman(b, sabre.EngineRef) }
+
+// BenchmarkSabreSoftFloatKalmanFast runs the same workload on the
+// predecoded, superinstruction-fused engine. The cycle counts logged
+// by both benchmarks must be identical; only ns/op may differ.
+func BenchmarkSabreSoftFloatKalmanFast(b *testing.B) { benchmarkSabreKalman(b, sabre.EngineFast) }
+
+// benchmarkSabreFxBoresight runs the integer-only S8.24 boresight
+// fusion filter program on a reusable core with the given engine.
+func benchmarkSabreFxBoresight(b *testing.B, eng sabre.Engine) {
+	prog, err := sabre.FxBoresightProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sabre.New()
+	c.Engine = eng
+	if err := c.LoadProgram(prog.Words); err != nil {
+		b.Fatal(err)
+	}
+	cfg := fxcore.DefaultConfig()
+	const n = 20
+	inputs := make([]sabre.FxBoresightInput, n)
+	for i := range inputs {
+		inputs[i] = sabre.FxBoresightInput{
+			F:  geom.Vec3{0.3, -0.2, 9.7},
+			AX: 0.31, AY: -0.18,
+		}
+	}
+	run := func() {
+		sabre.LoadFxBoresightInputs(c, cfg, 0.01, inputs)
+		c.Reset()
+		if _, err := c.Run(sabre.FxBoresightRunBudget(n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run()
+	b.Logf("engine=%s: %d cycles/update", eng, c.Cycles/n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.Instret)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
+// BenchmarkSabreFxBoresightRef is the reference-engine baseline for
+// the fixed-point fusion filter program.
+func BenchmarkSabreFxBoresightRef(b *testing.B) { benchmarkSabreFxBoresight(b, sabre.EngineRef) }
+
+// BenchmarkSabreFxBoresightFast runs the fixed-point fusion filter on
+// the predecoded+fused engine.
+func BenchmarkSabreFxBoresightFast(b *testing.B) { benchmarkSabreFxBoresight(b, sabre.EngineFast) }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"boresight/internal/fxcore"
 	"boresight/internal/geom"
@@ -39,7 +40,7 @@ func main() {
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
 	case "softfloat":
-		err = cmdSoftfloat()
+		err = cmdSoftfloat(os.Args[2:])
 	case "kalman":
 		err = cmdKalman(os.Args[2:])
 	case "fxboresight":
@@ -56,6 +57,13 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: sabre asm|run|disasm|softfloat|kalman|fxboresight ...")
+}
+
+// engineFlag registers the common -engine flag; parse the FlagSet, then
+// call the returned function for the selected engine.
+func engineFlag(fs *flag.FlagSet) func() (sabre.Engine, error) {
+	name := fs.String("engine", "fast", "execution engine: ref (decode per step) or fast (predecoded+fused)")
+	return func() (sabre.Engine, error) { return sabre.ParseEngine(*name) }
 }
 
 func assembleFile(path string) (*sabre.Program, error) {
@@ -106,7 +114,12 @@ func cmdDisasm(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	maxCycles := fs.Uint64("max-cycles", 10_000_000, "cycle budget")
+	engine := engineFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := engine()
+	if err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -117,6 +130,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	c := sabre.New()
+	c.Engine = eng
 	dbg := &sabre.Debug{}
 	c.Map(sabre.LEDSBase, &sabre.LEDs{})
 	c.Map(sabre.SwitchBase, &sabre.Switches{})
@@ -130,11 +144,16 @@ func cmdRun(args []string) error {
 	if err := c.LoadProgram(prog.Words); err != nil {
 		return err
 	}
+	t0 := time.Now()
 	cycles, err := c.Run(*maxCycles)
+	wall := time.Since(t0).Seconds()
 	if err != nil {
 		return fmt.Errorf("after %d cycles: %w", cycles, err)
 	}
 	fmt.Printf("halted after %d cycles, %d instructions\n", c.Cycles, c.Instret)
+	if wall > 0 {
+		fmt.Printf("engine %s: %.1f MIPS host throughput\n", eng, float64(c.Instret)/wall/1e6)
+	}
 	for i := 0; i < 16; i += 4 {
 		fmt.Printf("r%-2d=%08x  r%-2d=%08x  r%-2d=%08x  r%-2d=%08x\n",
 			i, c.R[i], i+1, c.R[i+1], i+2, c.R[i+2], i+3, c.R[i+3])
@@ -148,7 +167,16 @@ func cmdRun(args []string) error {
 	return nil
 }
 
-func cmdSoftfloat() error {
+func cmdSoftfloat(args []string) error {
+	fs := flag.NewFlagSet("softfloat", flag.ContinueOnError)
+	engine := engineFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := engine()
+	if err != nil {
+		return err
+	}
 	pairs := make([][2]uint32, 256)
 	for i := range pairs {
 		pairs[i] = [2]uint32{0x3FC00000 + uint32(i)<<8, 0x40200000 - uint32(i)<<7}
@@ -158,7 +186,7 @@ func cmdSoftfloat() error {
 		"f32_add", "f32_sub", "f32_mul", "f32_div", "f32_sqrt",
 		"f32_from_i32", "f32_to_i32", "f32_cmp_lt",
 	} {
-		_, perOp, err := sabre.RunBatch(routine, pairs)
+		_, perOp, err := sabre.RunBatchEngine(eng, routine, pairs)
 		if err != nil {
 			return err
 		}
@@ -170,7 +198,12 @@ func cmdSoftfloat() error {
 func cmdKalman(args []string) error {
 	fs := flag.NewFlagSet("kalman", flag.ContinueOnError)
 	n := fs.Int("n", 100, "number of measurements")
+	engine := engineFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := engine()
+	if err != nil {
 		return err
 	}
 	z := make([]float32, *n)
@@ -179,7 +212,7 @@ func cmdKalman(args []string) error {
 		// Deterministic pseudo-noise so the demo is reproducible.
 		z[i] = truth + float32((i*2654435761)%1000-500)/2000
 	}
-	res, err := sabre.RunKalman(1e-6, 0.25, 100, 0, z)
+	res, err := sabre.RunKalmanEngine(eng, 1e-6, 0.25, 100, 0, z)
 	if err != nil {
 		return err
 	}
@@ -188,6 +221,10 @@ func cmdKalman(args []string) error {
 		res.Estimates[len(res.Estimates)-1], truth, res.FinalP)
 	fmt.Printf("%.0f cycles/update, %d instructions total\n",
 		res.CyclesPerUpdate, res.Instructions)
+	if res.WallSeconds > 0 {
+		fmt.Printf("engine %s: %.1f MIPS host throughput\n",
+			eng, float64(res.Instructions)/res.WallSeconds/1e6)
+	}
 	fmt.Printf("at 25 MHz: %.0f updates/s available (sensors need 100/s)\n",
 		25e6/res.CyclesPerUpdate)
 	return nil
@@ -196,7 +233,12 @@ func cmdKalman(args []string) error {
 func cmdFxBoresight(args []string) error {
 	fs := flag.NewFlagSet("fxboresight", flag.ContinueOnError)
 	n := fs.Int("n", 800, "fusion epochs")
+	engine := engineFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := engine()
+	if err != nil {
 		return err
 	}
 	// A tilting-platform scenario with a 1.5/-2/1 degree misalignment.
@@ -221,7 +263,7 @@ func cmdFxBoresight(args []string) error {
 		ny := float64((i*40503)%1000-500) / 50000
 		inputs[i] = sabre.FxBoresightInput{F: f, AX: fs[0] + nx, AY: fs[1] + ny}
 	}
-	res, err := sabre.RunFxBoresight(fxcore.DefaultConfig(), 0.01, inputs)
+	res, err := sabre.RunFxBoresightEngine(eng, fxcore.DefaultConfig(), 0.01, inputs)
 	if err != nil {
 		return err
 	}
@@ -231,5 +273,9 @@ func cmdFxBoresight(args []string) error {
 	fmt.Printf("estimate:          roll %+.3f°, pitch %+.3f°, yaw %+.3f° (true +1.5, -2.0, +1.0)\n", r, p, y)
 	fmt.Printf("cycles per update: %.0f (%.0f updates/s at 25 MHz; sensors need 100/s)\n",
 		res.CyclesPerUpdate, 25e6/res.CyclesPerUpdate)
+	if res.WallSeconds > 0 {
+		fmt.Printf("engine %s: %.1f MIPS host throughput\n",
+			eng, float64(res.Instructions)/res.WallSeconds/1e6)
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package sabre
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -41,6 +42,18 @@ var (
 	ErrCycleLimit    = errors.New("sabre: cycle limit exceeded")
 )
 
+// Predeclared wrapped faults shared by both engines, so the bus fault
+// path allocates nothing. The faulting address is recorded in
+// CPU.FaultAddr rather than formatted into the error.
+var (
+	errUnalignedLoad  = fmt.Errorf("%w (load)", ErrUnalignedWord)
+	errUnalignedStore = fmt.Errorf("%w (store)", ErrUnalignedWord)
+	errLoadFault      = fmt.Errorf("%w (load)", ErrBusFault)
+	errStoreFault     = fmt.Errorf("%w (store)", ErrBusFault)
+	errByteLoadFault  = fmt.Errorf("%w (byte load)", ErrBusFault)
+	errByteStoreFault = fmt.Errorf("%w (byte store)", ErrBusFault)
+)
+
 // CPU is the Sabre emulator state.
 type CPU struct {
 	PC   uint32 // word index into program memory
@@ -54,6 +67,26 @@ type CPU struct {
 	Cycles  uint64
 	Instret uint64 // instructions retired
 	Halted  bool
+
+	// Engine selects the execution engine used by Run. The zero value
+	// is EngineFast (predecoded + fused); EngineRef forces the
+	// reference fetch-decode-execute loop.
+	Engine Engine
+
+	// FaultAddr holds the data address of the most recent bus fault
+	// (the predeclared fault errors carry no address of their own).
+	FaultAddr uint32
+
+	// dec is the predecoded program cache used by RunFast, rebuilt
+	// lazily after LoadProgram invalidates it. The backing array is
+	// allocated once and reused across program reloads.
+	dec      []decoded
+	decValid bool
+	// maxRun is the largest straight-line (checkpoint-free) cycle cost
+	// through the fused program, and runCost its computation scratch —
+	// see computeMaxRun in decode.go.
+	maxRun  uint64
+	runCost []uint32
 
 	// periphs is a dense dispatch table indexed by
 	// (base − DataBytes) / periphSpan, grown by Map. The hot bus path
@@ -94,6 +127,7 @@ func (c *CPU) LoadProgram(words []uint32) error {
 		c.Prog[i] = 0
 	}
 	copy(c.Prog, words)
+	c.decValid = false
 	c.Reset()
 	return nil
 }
@@ -107,44 +141,51 @@ func (c *CPU) Reset() {
 	c.Halted = false
 }
 
-// busLoad performs a data-space word read.
-func (c *CPU) busLoad(addr uint32) (uint32, error) {
-	if addr%4 != 0 {
-		return 0, fmt.Errorf("%w: load at %#x", ErrUnalignedWord, addr)
-	}
-	if addr+3 < DataBytes {
-		return uint32(c.Data[addr]) | uint32(c.Data[addr+1])<<8 |
-			uint32(c.Data[addr+2])<<16 | uint32(c.Data[addr+3])<<24, nil
-	}
+// periphAt resolves a data-space address above the RAM window to the
+// peripheral owning its 256-byte span and the byte offset within that
+// span. Returns nil for unmapped addresses.
+func (c *CPU) periphAt(addr uint32) (Peripheral, uint32) {
 	base := addr &^ uint32(periphSpan-1)
 	if idx := (base - DataBytes) / periphSpan; base >= DataBytes && idx < uint32(len(c.periphs)) {
 		if p := c.periphs[idx]; p != nil {
-			return p.BusRead(addr - base), nil
+			return p, addr - base
 		}
 	}
-	return 0, fmt.Errorf("%w: load at %#x", ErrBusFault, addr)
+	return nil, 0
+}
+
+// busLoad performs a data-space word read.
+func (c *CPU) busLoad(addr uint32) (uint32, error) {
+	if addr%4 != 0 {
+		c.FaultAddr = addr
+		return 0, errUnalignedLoad
+	}
+	if addr+3 < DataBytes {
+		return binary.LittleEndian.Uint32(c.Data[addr:]), nil
+	}
+	if p, off := c.periphAt(addr); p != nil {
+		return p.BusRead(off), nil
+	}
+	c.FaultAddr = addr
+	return 0, errLoadFault
 }
 
 // busStore performs a data-space word write.
 func (c *CPU) busStore(addr, v uint32) error {
 	if addr%4 != 0 {
-		return fmt.Errorf("%w: store at %#x", ErrUnalignedWord, addr)
+		c.FaultAddr = addr
+		return errUnalignedStore
 	}
 	if addr+3 < DataBytes {
-		c.Data[addr] = byte(v)
-		c.Data[addr+1] = byte(v >> 8)
-		c.Data[addr+2] = byte(v >> 16)
-		c.Data[addr+3] = byte(v >> 24)
+		binary.LittleEndian.PutUint32(c.Data[addr:], v)
 		return nil
 	}
-	base := addr &^ uint32(periphSpan-1)
-	if idx := (base - DataBytes) / periphSpan; base >= DataBytes && idx < uint32(len(c.periphs)) {
-		if p := c.periphs[idx]; p != nil {
-			p.BusWrite(addr-base, v)
-			return nil
-		}
+	if p, off := c.periphAt(addr); p != nil {
+		p.BusWrite(off, v)
+		return nil
 	}
-	return fmt.Errorf("%w: store at %#x", ErrBusFault, addr)
+	c.FaultAddr = addr
+	return errStoreFault
 }
 
 // Step executes one instruction.
@@ -220,7 +261,8 @@ func (c *CPU) Step() error {
 	case OpLB, OpLBU:
 		addr := c.R[decRS1(w)] + uint32(decImm18(w))
 		if addr >= DataBytes {
-			return fmt.Errorf("%w: byte load at %#x", ErrBusFault, addr)
+			c.FaultAddr = addr
+			return errByteLoadFault
 		}
 		v := uint32(c.Data[addr])
 		if op == OpLB {
@@ -235,7 +277,8 @@ func (c *CPU) Step() error {
 	case OpSB:
 		addr := c.R[decRS1(w)] + uint32(decImm18(w))
 		if addr >= DataBytes {
-			return fmt.Errorf("%w: byte store at %#x", ErrBusFault, addr)
+			c.FaultAddr = addr
+			return errByteStoreFault
 		}
 		c.Data[addr] = byte(c.R[decRD(w)])
 	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
@@ -293,8 +336,19 @@ func b2u(b bool) uint32 {
 }
 
 // Run executes until HALT or until maxCycles elapse, returning the
-// cycles consumed. Reaching the limit returns ErrCycleLimit.
+// cycles consumed. Reaching the limit returns ErrCycleLimit. The
+// execution engine is selected by c.Engine (fast by default).
 func (c *CPU) Run(maxCycles uint64) (uint64, error) {
+	if c.Engine == EngineRef {
+		return c.RunRef(maxCycles)
+	}
+	return c.RunFast(maxCycles)
+}
+
+// RunRef is the reference engine: one Step() per instruction, fetching
+// and decoding the raw program word every cycle. It defines the
+// architectural and cycle-accounting behaviour RunFast must match.
+func (c *CPU) RunRef(maxCycles uint64) (uint64, error) {
 	start := c.Cycles
 	for !c.Halted {
 		if c.Cycles-start >= maxCycles {

@@ -2,6 +2,7 @@ package sabre
 
 import (
 	"fmt"
+	"time"
 
 	"boresight/internal/fxcore"
 	"boresight/internal/geom"
@@ -542,6 +543,8 @@ type FxBoresightResult struct {
 	// CyclesPerUpdate is the measured cost of one fusion epoch.
 	CyclesPerUpdate float64
 	TotalCycles     uint64
+	Instructions    uint64
+	WallSeconds     float64 // host wall-clock time inside Run
 }
 
 // FxBoresightInput is one fusion epoch's data (SI units; quantised to
@@ -554,24 +557,19 @@ type FxBoresightInput struct {
 // MaxFxBoresightEpochs bounds one program run by the data store layout.
 const MaxFxBoresightEpochs = (fxbOut - fxbIn) / fxbInStep
 
-// RunFxBoresight executes the full fixed-point boresight filter on the
-// emulated core. cfg supplies the noise parameters (the same ones
-// fxcore.New takes); dt is the epoch period.
-func RunFxBoresight(cfg fxcore.Config, dt float64, inputs []FxBoresightInput) (*FxBoresightResult, error) {
-	if len(inputs) > MaxFxBoresightEpochs {
-		return nil, fmt.Errorf("sabre: %d epochs exceed the data store (max %d)", len(inputs), MaxFxBoresightEpochs)
-	}
-	if cfg.MeasNoise <= 0 || cfg.InitAngleSigma <= 0 || dt <= 0 {
-		return nil, fmt.Errorf("sabre: invalid fx boresight parameters")
-	}
-	prog, err := Assemble(fxBoresightMain)
-	if err != nil {
-		return nil, err
-	}
-	c := New()
-	if err := c.LoadProgram(prog.Words); err != nil {
-		return nil, err
-	}
+// FxBoresightProgram assembles the fixed-point boresight filter program
+// — exported so benchmarks and the parity tests can load it onto a
+// reusable CPU.
+func FxBoresightProgram() (*Program, error) {
+	return Assemble(fxBoresightMain)
+}
+
+// LoadFxBoresightInputs (re)writes the filter's input memory: noise
+// parameters, state vector, full covariance, and the per-epoch
+// measurement block. The state and every covariance entry are written
+// (not only the initial diagonal) so a previously-run CPU is restored
+// to a fresh filter without reloading the program.
+func LoadFxBoresightInputs(c *CPU, cfg fxcore.Config, dt float64, inputs []FxBoresightInput) {
 	c.StoreWord(fxbN, uint32(len(inputs)))
 	// qStep = Mul(q, dtQ) exactly as fxcore computes per step.
 	q := fxcore.FromFloat(cfg.AngleWalk * cfg.AngleWalk)
@@ -579,9 +577,18 @@ func RunFxBoresight(cfg fxcore.Config, dt float64, inputs []FxBoresightInput) (*
 	c.StoreWord(fxbQStep, uint32(int32(qStep)))
 	r30 := fxcore.FromFloat(cfg.MeasNoise*cfg.MeasNoise) << 6
 	c.StoreWord(fxbR30, uint32(int32(r30)))
+	for i := 0; i < 3; i++ {
+		c.StoreWord(uint32(fxbX+4*i), 0)
+	}
 	p0 := fxcore.FromFloat(cfg.InitAngleSigma * cfg.InitAngleSigma)
 	for i := 0; i < 3; i++ {
-		c.StoreWord(uint32(fxbP+4*(3*i+i)), uint32(int32(p0)))
+		for j := 0; j < 3; j++ {
+			v := uint32(0)
+			if i == j {
+				v = uint32(int32(p0))
+			}
+			c.StoreWord(uint32(fxbP+4*(3*i+j)), v)
+		}
 	}
 	for i, in := range inputs {
 		base := uint32(fxbIn + fxbInStep*i)
@@ -591,12 +598,46 @@ func RunFxBoresight(cfg fxcore.Config, dt float64, inputs []FxBoresightInput) (*
 		c.StoreWord(base+12, uint32(int32(fxcore.FromFloat(in.AX))))
 		c.StoreWord(base+16, uint32(int32(fxcore.FromFloat(in.AY))))
 	}
-	if _, err := c.Run(uint64(len(inputs))*60000 + 10000); err != nil {
+}
+
+// FxBoresightRunBudget is the cycle budget one run over n epochs gets.
+func FxBoresightRunBudget(n int) uint64 { return uint64(n)*60000 + 10000 }
+
+// RunFxBoresight executes the full fixed-point boresight filter on the
+// emulated core with the default (fast) engine. cfg supplies the noise
+// parameters (the same ones fxcore.New takes); dt is the epoch period.
+func RunFxBoresight(cfg fxcore.Config, dt float64, inputs []FxBoresightInput) (*FxBoresightResult, error) {
+	return RunFxBoresightEngine(EngineFast, cfg, dt, inputs)
+}
+
+// RunFxBoresightEngine is RunFxBoresight on an explicitly selected
+// engine.
+func RunFxBoresightEngine(engine Engine, cfg fxcore.Config, dt float64, inputs []FxBoresightInput) (*FxBoresightResult, error) {
+	if len(inputs) > MaxFxBoresightEpochs {
+		return nil, fmt.Errorf("sabre: %d epochs exceed the data store (max %d)", len(inputs), MaxFxBoresightEpochs)
+	}
+	if cfg.MeasNoise <= 0 || cfg.InitAngleSigma <= 0 || dt <= 0 {
+		return nil, fmt.Errorf("sabre: invalid fx boresight parameters")
+	}
+	prog, err := FxBoresightProgram()
+	if err != nil {
+		return nil, err
+	}
+	c := New()
+	c.Engine = engine
+	if err := c.LoadProgram(prog.Words); err != nil {
+		return nil, err
+	}
+	LoadFxBoresightInputs(c, cfg, dt, inputs)
+	t0 := time.Now()
+	if _, err := c.Run(FxBoresightRunBudget(len(inputs))); err != nil {
 		return nil, fmt.Errorf("sabre: fx boresight program: %w", err)
 	}
 	res := &FxBoresightResult{
-		States:      make([][3]int32, len(inputs)),
-		TotalCycles: c.Cycles,
+		States:       make([][3]int32, len(inputs)),
+		TotalCycles:  c.Cycles,
+		Instructions: c.Instret,
+		WallSeconds:  time.Since(t0).Seconds(),
 	}
 	for i := range inputs {
 		base := uint32(fxbOut + 12*i)

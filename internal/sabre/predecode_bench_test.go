@@ -1,0 +1,19 @@
+package sabre
+
+import "testing"
+
+func BenchmarkPredecode(b *testing.B) {
+	prog, err := KalmanProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := New()
+	if err := c.LoadProgram(prog.Words); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.predecode()
+	}
+}

@@ -3,6 +3,7 @@ package sabre
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // This file holds the two application programs the paper runs on the
@@ -78,21 +79,21 @@ type KalmanResult struct {
 	CyclesPerUpdate float64
 	TotalCycles     uint64
 	Instructions    uint64
+	WallSeconds     float64 // host wall-clock time inside Run
 }
 
-// RunKalman executes the scalar Kalman program on the emulated core.
-func RunKalman(q, r, p0, x0 float32, z []float32) (*KalmanResult, error) {
-	if len(z) > (kalXOut-kalZIn)/4 {
-		return nil, fmt.Errorf("sabre: %d measurements exceed the data store", len(z))
-	}
-	prog, err := Assemble(kalmanMain + Library())
-	if err != nil {
-		return nil, err
-	}
-	c := New()
-	if err := c.LoadProgram(prog.Words); err != nil {
-		return nil, err
-	}
+// KalmanProgram assembles the SoftFloat Kalman program (kalmanMain plus
+// the SoftFloat library) — exported so benchmarks and the parity tests
+// can load it onto a reusable CPU.
+func KalmanProgram() (*Program, error) {
+	return Assemble(kalmanMain + Library())
+}
+
+// SetKalmanInputs (re)writes the Kalman program's input memory: the
+// filter parameters at the head of RAM and the measurement block at
+// kalZIn. Together with Reset it prepares a loaded CPU for a fresh run
+// without reassembling or reloading the program.
+func SetKalmanInputs(c *CPU, q, r, p0, x0 float32, z []float32) {
 	c.StoreWord(kalN, uint32(len(z)))
 	c.StoreWord(kalQ, math.Float32bits(q))
 	c.StoreWord(kalR, math.Float32bits(r))
@@ -101,14 +102,44 @@ func RunKalman(q, r, p0, x0 float32, z []float32) (*KalmanResult, error) {
 	for i, v := range z {
 		c.StoreWord(uint32(kalZIn+4*i), math.Float32bits(v))
 	}
-	if _, err := c.Run(uint64(len(z))*20000 + 10000); err != nil {
+}
+
+// KalmanRunBudget is the cycle budget RunKalman grants a run over n
+// measurements.
+func KalmanRunBudget(n int) uint64 { return uint64(n)*20000 + 10000 }
+
+// RunKalman executes the scalar Kalman program on the emulated core
+// with the default (fast) engine.
+func RunKalman(q, r, p0, x0 float32, z []float32) (*KalmanResult, error) {
+	return RunKalmanEngine(EngineFast, q, r, p0, x0, z)
+}
+
+// RunKalmanEngine is RunKalman on an explicitly selected engine.
+func RunKalmanEngine(engine Engine, q, r, p0, x0 float32, z []float32) (*KalmanResult, error) {
+	if len(z) > (kalXOut-kalZIn)/4 {
+		return nil, fmt.Errorf("sabre: %d measurements exceed the data store", len(z))
+	}
+	prog, err := KalmanProgram()
+	if err != nil {
+		return nil, err
+	}
+	c := New()
+	c.Engine = engine
+	if err := c.LoadProgram(prog.Words); err != nil {
+		return nil, err
+	}
+	SetKalmanInputs(c, q, r, p0, x0, z)
+	t0 := time.Now()
+	if _, err := c.Run(KalmanRunBudget(len(z))); err != nil {
 		return nil, fmt.Errorf("sabre: kalman program: %w", err)
 	}
+	wall := time.Since(t0).Seconds()
 	res := &KalmanResult{
 		Estimates:    make([]float32, len(z)),
 		FinalP:       math.Float32frombits(c.LoadWord(kalP)),
 		TotalCycles:  c.Cycles,
 		Instructions: c.Instret,
+		WallSeconds:  wall,
 	}
 	for i := range res.Estimates {
 		res.Estimates[i] = math.Float32frombits(c.LoadWord(uint32(kalXOut + 4*i)))

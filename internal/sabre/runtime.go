@@ -52,9 +52,15 @@ func BatchProgram(routine string) (*Program, error) {
 }
 
 // RunBatch executes the named routine over operand pairs on a fresh
-// CPU, returning the results and the mean cycles per operation
-// (including the ~10-cycle driver-loop overhead).
+// CPU with the default (fast) engine, returning the results and the
+// mean cycles per operation (including the ~10-cycle driver-loop
+// overhead).
 func RunBatch(routine string, pairs [][2]uint32) ([]uint32, float64, error) {
+	return RunBatchEngine(EngineFast, routine, pairs)
+}
+
+// RunBatchEngine is RunBatch on an explicitly selected engine.
+func RunBatchEngine(engine Engine, routine string, pairs [][2]uint32) ([]uint32, float64, error) {
 	if len(pairs) > MaxBatch {
 		return nil, 0, fmt.Errorf("sabre: batch of %d exceeds %d", len(pairs), MaxBatch)
 	}
@@ -63,6 +69,7 @@ func RunBatch(routine string, pairs [][2]uint32) ([]uint32, float64, error) {
 		return nil, 0, err
 	}
 	c := New()
+	c.Engine = engine
 	if err := c.LoadProgram(prog.Words); err != nil {
 		return nil, 0, err
 	}
