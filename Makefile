@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-json experiments demo clean
+.PHONY: all build vet test race fuzz bench bench-json vidpipe-smoke experiments demo clean
+
+# Golden CRC-32 of the corrected frame vidpipe produces at its default
+# settings, captured before the stepped-datapath rewrite. The smoke run
+# fails if the stepped transforms or pipeline drift by even one bit.
+VIDPIPE_GOLDEN := 0x9691b949
 
 all: build vet test
 
@@ -43,6 +48,12 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 5x -count 3 -bench-dur 10 . > bench/latest.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sabre/ >> bench/latest.txt
 	$(GO) run ./cmd/benchreport -emit bench -in bench/latest.txt
+
+# End-to-end video-path smoke run: render, distort, correct on the
+# clocked pipeline, and checksum the corrected frame against the
+# pre-rewrite golden output.
+vidpipe-smoke:
+	$(GO) run ./cmd/vidpipe -out $${TMPDIR:-/tmp} -check $(VIDPIPE_GOLDEN)
 
 # Regenerate the full evaluation report (Table 1, Figs 8-9, Monte
 # Carlo, ablations) at the paper's 300 s duration.

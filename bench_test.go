@@ -326,6 +326,52 @@ func BenchmarkAffineSerial(b *testing.B) { benchmarkAffine(b, 1) }
 // CPUs; output is bit-identical to the serial baseline.
 func BenchmarkAffineParallel(b *testing.B) { benchmarkAffine(b, 0) }
 
+// affineBenchFrames builds the shared VGA workload of the per-kernel
+// affine benchmarks: a rendered road scene source and a reused
+// destination (the steady state of a pool-recycled video pipeline).
+func affineBenchFrames() (src, dst *video.Frame, p affine.Params) {
+	src = video.RoadScene{W: 640, H: 480}.RenderWorkers(1)
+	dst = video.NewFrame(src.W, src.H)
+	return src, dst, affine.Params{Theta: geom.Deg2Rad(3.3), TX: 4, TY: -2}
+}
+
+// BenchmarkAffineFixed measures the fixed-point (Q9.6 / Q1.14 LUT)
+// frame transform alone at workers=1 — the software mirror of the
+// Figure 5 address generator, and the regression anchor for the
+// incremental scanline datapath (ns/op here is ns/frame; divide by
+// 640*480 for ns/pixel).
+func BenchmarkAffineFixed(b *testing.B) {
+	src, dst, p := affineBenchFrames()
+	ft := affine.NewFixedTransformer(fixed.NewTrig(1024, fixed.TrigFrac))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.TransformInto(dst, src, p, 1)
+	}
+}
+
+// BenchmarkAffineFloat measures the float64 nearest-neighbour reference
+// transform alone at workers=1.
+func BenchmarkAffineFloat(b *testing.B) {
+	src, dst, p := affineBenchFrames()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		affine.TransformFloatInto(dst, src, p, false, 1)
+	}
+}
+
+// BenchmarkAffineFloatBilinear measures the float64 bilinear transform
+// alone at workers=1.
+func BenchmarkAffineFloatBilinear(b *testing.B) {
+	src, dst, p := affineBenchFrames()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		affine.TransformFloatInto(dst, src, p, true, 1)
+	}
+}
+
 // benchmarkSabreKalman runs the SoftFloat scalar Kalman program (the
 // paper's Section 10 workload) on a reusable emulated core with the
 // given engine. The program is loaded once; each iteration rewrites

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"boresight/internal/affine"
 	"boresight/internal/fixed"
@@ -33,6 +35,7 @@ func main() {
 	h := flag.Int("h", 240, "frame height")
 	focal := flag.Float64("focal", 400, "focal length (pixels)")
 	out := flag.String("out", ".", "output directory for PPM images")
+	check := flag.String("check", "", "expected corrected-frame CRC-32 (hex); exit non-zero on mismatch")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -42,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vidpipe:", err)
 		os.Exit(1)
 	}
-	runErr := realMain(*roll, *pitch, *yaw, *w, *h, *focal, *out)
+	runErr := realMain(*roll, *pitch, *yaw, *w, *h, *focal, *out, *check)
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -52,7 +55,7 @@ func main() {
 	}
 }
 
-func realMain(roll, pitch, yaw float64, w, h int, focal float64, outDir string) error {
+func realMain(roll, pitch, yaw float64, w, h int, focal float64, outDir, check string) error {
 	mis := geom.EulerDeg(roll, pitch, yaw)
 	scene := video.RoadScene{W: w, H: h}.Render()
 
@@ -88,6 +91,22 @@ func realMain(roll, pitch, yaw float64, w, h int, focal float64, outDir string) 
 	fmt.Printf("at 25 MHz:    %.1f frames/s\n", 25e6/float64(cycles))
 	fmt.Printf("alignment error (mean abs diff vs true scene): distorted %.2f -> corrected %.2f\n",
 		video.MeanAbsDiff(scene, distorted), video.MeanAbsDiff(scene, disp.Frame))
+
+	// The corrected-frame checksum pins the exact datapath output; CI
+	// compares it against the golden value so any arithmetic drift in
+	// the stepped pipeline fails the smoke run.
+	sum := disp.Frame.Checksum()
+	fmt.Printf("corrected-frame checksum: %#08x\n", sum)
+	if check != "" {
+		want, err := strconv.ParseUint(strings.TrimPrefix(check, "0x"), 16, 32)
+		if err != nil {
+			return fmt.Errorf("bad -check value %q: %v", check, err)
+		}
+		if sum != uint32(want) {
+			return fmt.Errorf("corrected-frame checksum %#08x does not match golden %#08x", sum, uint32(want))
+		}
+		fmt.Println("checksum matches golden output")
+	}
 
 	for _, img := range []struct {
 		name  string

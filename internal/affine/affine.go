@@ -88,23 +88,42 @@ func TransformFloatWorkers(src *video.Frame, p Params, bilinear bool, workers in
 // rather than corrupt). Every output pixel is written, so dst needs no
 // clearing and may come from a video.FramePool. When the resolved
 // worker count is 1 it allocates nothing.
+//
+// Rendering is incremental (step.go): the x-only halves of the affine
+// map are hoisted into per-column tables and each row is span-clipped
+// analytically, with an operation order chosen so the output stays
+// bit-identical to evaluating Params.Apply at every pixel
+// (transformFloatBandRef, kept for the differential tests).
 func TransformFloatInto(dst, src *video.Frame, p Params, bilinear bool, workers int) {
 	checkDst("TransformFloatInto", dst, src)
 	inv := p.Invert()
 	cx, cy := float64(src.W)/2, float64(src.H)/2
+	if parallel.Resolve(workers) == 1 && src.W <= maxStackTabW {
+		// Separate function so the stack column tables cannot be
+		// captured by the banding closure below, which would force them
+		// (and an allocation) onto the heap.
+		transformFloatSerial(dst, src, inv, cx, cy, bilinear)
+		return
+	}
+	c, s := math.Cos(inv.Theta), math.Sin(inv.Theta)
+	tabX := make([]float64, src.W)
+	tabY := make([]float64, src.W)
+	buildFloatTables(tabX, tabY, cx, cy, c, s)
 	if parallel.Resolve(workers) == 1 {
-		// Direct call: the banding closure below escapes to the worker
-		// goroutines and would cost one allocation even when no
-		// goroutine is ever spawned.
-		transformFloatBand(dst, src, inv, cx, cy, bilinear, 0, src.H)
+		steppedFloatBand(dst, src, tabX, tabY, c, s, cy, inv.TX, inv.TY, bilinear, 0, src.H)
 		return
 	}
 	parallel.Bands(src.H, workers, func(y0, y1 int) {
-		transformFloatBand(dst, src, inv, cx, cy, bilinear, y0, y1)
+		steppedFloatBand(dst, src, tabX, tabY, c, s, cy, inv.TX, inv.TY, bilinear, y0, y1)
 	})
 }
 
-func transformFloatBand(dst, src *video.Frame, inv Params, cx, cy float64, bilinear bool, y0, y1 int) {
+// transformFloatBandRef is the straight-line per-pixel reference: it
+// evaluates the full affine map (including the trig calls inside
+// Params.Apply) at every output pixel. The stepped datapath is proven
+// bit-identical to it by the differential tests; it is not used on any
+// production path.
+func transformFloatBandRef(dst, src *video.Frame, inv Params, cx, cy float64, bilinear bool, y0, y1 int) {
 	for y := y0; y < y1; y++ {
 		for x := 0; x < src.W; x++ {
 			sx, sy := inv.Apply(float64(x), float64(y), cx, cy)
@@ -128,27 +147,34 @@ func checkDst(op string, dst, src *video.Frame) {
 	}
 }
 
+// sampleBilinear is the tap-guarded float bilinear sampler (taps
+// outside the frame read black via At). The blend is closure-free —
+// the old per-pixel lerp/mix closures cost real time on edge spans —
+// with the same per-channel operation order, so results are unchanged.
 func sampleBilinear(src *video.Frame, x, y float64) video.Pixel {
 	x0, y0 := math.Floor(x), math.Floor(y)
-	fx, fy := x-x0, y-y0
 	ix, iy := int(x0), int(y0)
-	p00 := src.At(ix, iy)
-	p10 := src.At(ix+1, iy)
-	p01 := src.At(ix, iy+1)
-	p11 := src.At(ix+1, iy+1)
-	lerp := func(a, b uint8, f float64) float64 {
-		return float64(a) + (float64(b)-float64(a))*f
-	}
-	mix := func(c func(video.Pixel) uint8) uint8 {
-		top := lerp(c(p00), c(p10), fx)
-		bot := lerp(c(p01), c(p11), fx)
-		return uint8(math.Round(top + (bot-top)*fy))
-	}
-	return video.RGB(
-		mix(video.Pixel.R),
-		mix(video.Pixel.G),
-		mix(video.Pixel.B),
+	return blendBilinear(
+		src.At(ix, iy), src.At(ix+1, iy),
+		src.At(ix, iy+1), src.At(ix+1, iy+1),
+		x-x0, y-y0,
 	)
+}
+
+// blendBilinear mixes four taps with float weights; also used directly
+// by the stepped interior span, where the taps are unguarded loads.
+func blendBilinear(p00, p10, p01, p11 video.Pixel, fx, fy float64) video.Pixel {
+	return video.RGB(
+		blendChannel(p00.R(), p10.R(), p01.R(), p11.R(), fx, fy),
+		blendChannel(p00.G(), p10.G(), p01.G(), p11.G(), fx, fy),
+		blendChannel(p00.B(), p10.B(), p01.B(), p11.B(), fx, fy),
+	)
+}
+
+func blendChannel(a00, a10, a01, a11 uint8, fx, fy float64) uint8 {
+	top := float64(a00) + (float64(a10)-float64(a00))*fx
+	bot := float64(a01) + (float64(a11)-float64(a01))*fx
+	return uint8(math.Round(top + (bot-top)*fy))
 }
 
 // FixedTransformer performs the transform with the FPGA datapath's
@@ -217,6 +243,12 @@ func (t *FixedTransformer) TransformWorkers(src *video.Frame, p Params, workers 
 // Every output pixel is written, so dst needs no clearing and may come
 // from a video.FramePool. When the resolved worker count is 1 it
 // allocates nothing.
+//
+// Rendering is incremental (step.go): the column products of the
+// Figure 5 datapath are built once per frame by exact extended-
+// precision DDA and each row is span-clipped analytically. The output
+// is bit-identical to running RotateCoord at every pixel
+// (transformBandRef), which the differential and golden tests enforce.
 func (t *FixedTransformer) TransformInto(dst, src *video.Frame, p Params, workers int) {
 	checkDst("TransformInto", dst, src)
 	inv := p.Invert()
@@ -224,16 +256,30 @@ func (t *FixedTransformer) TransformInto(dst, src *video.Frame, p Params, worker
 	tx := int(math.Round(inv.TX))
 	ty := int(math.Round(inv.TY))
 	cx, cy := src.W/2, src.H/2
+	sin, cos := t.lut.SinIdx(idx), t.lut.CosIdx(idx)
+	if parallel.Resolve(workers) == 1 && src.W <= maxStackTabW {
+		// Separate function so the stack column tables cannot be
+		// captured by the banding closure below (see TransformFloatInto).
+		transformFixedSerial(dst, src, sin, cos, cx, cy, tx, ty)
+		return
+	}
+	t3tab := make([]int32, src.W)
+	t4tab := make([]int32, src.W)
+	buildFixedTables(t3tab, t4tab, cx, sin, cos)
 	if parallel.Resolve(workers) == 1 {
-		t.transformBand(dst, src, idx, cx, cy, tx, ty, 0, src.H)
+		steppedFixedBand(dst, src, t3tab, t4tab, sin, cos, cy, cx+tx, cy+ty, 0, src.H)
 		return
 	}
 	parallel.Bands(src.H, workers, func(y0, y1 int) {
-		t.transformBand(dst, src, idx, cx, cy, tx, ty, y0, y1)
+		steppedFixedBand(dst, src, t3tab, t4tab, sin, cos, cy, cx+tx, cy+ty, y0, y1)
 	})
 }
 
-func (t *FixedTransformer) transformBand(dst, src *video.Frame, idx, cx, cy, tx, ty, y0, y1 int) {
+// transformBandRef is the straight-line per-pixel reference — one full
+// RotateCoord datapath evaluation per output pixel. The stepped
+// datapath is proven bit-identical to it by the differential tests; it
+// is not used on any production path.
+func (t *FixedTransformer) transformBandRef(dst, src *video.Frame, idx, cx, cy, tx, ty, y0, y1 int) {
 	for y := y0; y < y1; y++ {
 		for x := 0; x < src.W; x++ {
 			sx, sy := t.RotateCoord(idx, x, y, cx, cy, tx, ty)
@@ -249,18 +295,37 @@ func (t *FixedTransformer) transformBand(dst, src *video.Frame, idx, cx, cy, tx,
 func (t *FixedTransformer) ForwardMap(src *video.Frame, p Params) (*video.Frame, int) {
 	out := video.NewFrame(src.W, src.H)
 	written := make([]bool, src.W*src.H)
+	return out, t.ForwardMapInto(out, written, src, p)
+}
+
+// ForwardMapInto is the allocation-free form of ForwardMap: the caller
+// provides the destination frame and a W*H scratch mask (contents
+// ignored; both are cleared here). It uses the same stepped column
+// tables as TransformInto, with the span clip deciding which source
+// pixels land inside the output — bit-identical to the per-pixel
+// RotateCoord formulation. Returns the number of output holes.
+func (t *FixedTransformer) ForwardMapInto(dst *video.Frame, written []bool, src *video.Frame, p Params) int {
+	checkDst("ForwardMapInto", dst, src)
+	if len(written) != src.W*src.H {
+		panic("affine: ForwardMapInto written mask must have W*H entries")
+	}
 	idx := t.lut.Index(p.Theta)
 	tx := int(math.Round(p.TX))
 	ty := int(math.Round(p.TY))
 	cx, cy := src.W/2, src.H/2
-	for y := 0; y < src.H; y++ {
-		for x := 0; x < src.W; x++ {
-			ox, oy := t.RotateCoord(idx, x, y, cx, cy, tx, ty)
-			if ox >= 0 && ox < src.W && oy >= 0 && oy < src.H {
-				out.Set(ox, oy, src.At(x, y))
-				written[oy*src.W+ox] = true
-			}
-		}
+	sin, cos := t.lut.SinIdx(idx), t.lut.CosIdx(idx)
+	clear(dst.Pix)
+	clear(written)
+	if src.W <= maxStackTabW {
+		var t3buf, t4buf [maxStackTabW]int32
+		t3tab, t4tab := t3buf[:src.W], t4buf[:src.W]
+		buildFixedTables(t3tab, t4tab, cx, sin, cos)
+		forwardMapSpans(dst, written, src, t3tab, t4tab, sin, cos, cy, cx+tx, cy+ty)
+	} else {
+		t3tab := make([]int32, src.W)
+		t4tab := make([]int32, src.W)
+		buildFixedTables(t3tab, t4tab, cx, sin, cos)
+		forwardMapSpans(dst, written, src, t3tab, t4tab, sin, cos, cy, cx+tx, cy+ty)
 	}
 	holes := 0
 	for _, w := range written {
@@ -268,5 +333,31 @@ func (t *FixedTransformer) ForwardMap(src *video.Frame, p Params) (*video.Frame,
 			holes++
 		}
 	}
-	return out, holes
+	return holes
+}
+
+// forwardMapSpans scatters source rows to their rotated output
+// locations. The span clip selects exactly the columns whose *output*
+// coordinate lands in frame (the same monotone arithmetic, so exact),
+// which removes the per-pixel range test; overwrite order matches the
+// reference row-major scan.
+func forwardMapSpans(dst *video.Frame, written []bool, src *video.Frame, t3tab, t4tab []int32, sin, cos int32, cy, cxt, cyt int) {
+	w, h := src.W, src.H
+	q2 := int64(-cy) * int64(-sin)
+	q5 := int64(-cy) * int64(cos)
+	for y := 0; y < h; y++ {
+		t2 := fixed.RoundShift64(q2, fixed.StepShift)
+		t5 := fixed.RoundShift64(q5, fixed.StepShift)
+		lo, hi := fixedRowSpan(t3tab, t4tab, t2, t5, cxt, cyt, w, h)
+		srow := src.Pix[y*w : y*w+w]
+		for x := lo; x < hi; x++ {
+			ox := fixed.ToInt(fixed.AddSat(t2, t3tab[x]), fixed.CoordFrac) + cxt
+			oy := fixed.ToInt(fixed.AddSat(t4tab[x], t5), fixed.CoordFrac) + cyt
+			o := oy*w + ox
+			dst.Pix[o] = srow[x]
+			written[o] = true
+		}
+		q2 -= int64(sin)
+		q5 += int64(cos)
+	}
 }

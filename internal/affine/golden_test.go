@@ -1,7 +1,6 @@
 package affine
 
 import (
-	"hash/crc32"
 	"math"
 	"testing"
 
@@ -20,20 +19,9 @@ import (
 // pitch/yaw shift, the regime the paper's video loop operates in.
 var goldenParams = Params{Theta: geom.Deg2Rad(3.3), TX: 4, TY: -2}
 
-// frameChecksum hashes a frame's pixels (big-endian words) with CRC-32
-// (IEEE) — the replay fingerprint used across the golden tests.
-func frameChecksum(f *video.Frame) uint32 {
-	h := crc32.NewIEEE()
-	buf := make([]byte, 4)
-	for _, p := range f.Pix {
-		buf[0] = byte(p >> 24)
-		buf[1] = byte(p >> 16)
-		buf[2] = byte(p >> 8)
-		buf[3] = byte(p)
-		h.Write(buf)
-	}
-	return h.Sum32()
-}
+// frameChecksum is the replay fingerprint used across the golden tests
+// (now shared with cmd/vidpipe's -check smoke run via video.Checksum).
+func frameChecksum(f *video.Frame) uint32 { return f.Checksum() }
 
 func TestGoldenFixedPipelineChecksums(t *testing.T) {
 	lut := fixed.NewTrig(1024, fixed.TrigFrac)

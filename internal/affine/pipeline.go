@@ -16,17 +16,32 @@ import (
 // the source pixel from a ZBT SRAM framebuffer (1-cycle latency) and
 // pushes it to the display sink.
 //
+// The address generator is *stepped*: because the inverse map is
+// affine, each rotation product advances by a constant per pixel, so S1
+// updates four extended-precision accumulators with adds (two per
+// pixel, four at a row wrap) instead of multiplying per pixel — the
+// real-FPGA arrangement that frees the DSP blocks for the correlator.
+// S2 renormalises the accumulators (fixed.RoundShift64, the identical
+// rounding to the four fixed.Muls it replaces), keeping the frame
+// bit-identical to the per-pixel RotateCoord datapath.
+//
 // Stages (one clock each):
 //
-//	S0  raster coordinate generation, control latch
-//	S1  sine/cosine LUT lookup + centre offset + int→fixed  (steps 1–2)
-//	S2  four fixed-point multiplies                          (step 3)
+//	S0  raster coordinate generation; frame-atomic control latch
+//	S1  stepping accumulators advance (delta adds)           (steps 1–2)
+//	S2  renormalisation shifts (was: four multiplies)        (step 3)
 //	S3  sums, fixed→int, centre restore; SRAM read issued    (steps 4–5)
 //	S4  SRAM data returns; pixel pushed to the display
 //
 // The control inputs (LUT index and pixel translation) mirror the
 // twelve memory-mapped registers the Sabre writes into the
-// SabreControlRun peripheral.
+// SabreControlRun peripheral. The whole control word — rotation *and*
+// translation — is latched into frame registers when pixel 0 issues:
+// the stepping accumulators are seeded from the rotation at that
+// moment, and tx/ty ride the stage registers beside the products, so a
+// mid-frame SetControl cannot tear a frame (it takes effect at the
+// next Start). The previous per-stage reads skewed tx/ty (read at S3)
+// against thetaIdx (read at S1) by two pixels on a mid-frame write.
 type Pipeline struct {
 	lut  *fixed.Trig
 	src  *rc200.SRAM
@@ -41,6 +56,10 @@ type Pipeline struct {
 	pos     *hcsim.Reg[int]
 	running *hcsim.Reg[bool]
 
+	// Frame-latched control and the stepping accumulators.
+	frame *hcsim.Reg[frameCtl]
+	acc   *hcsim.Reg[stepAcc]
+
 	// S1 registers.
 	s1 *hcsim.Reg[s1Regs]
 	// S2 registers.
@@ -52,17 +71,39 @@ type Pipeline struct {
 	blackOut   uint64 // pixels whose source fell outside the frame
 }
 
+// frameCtl is the control word latched once per frame at pixel 0: the
+// LUT outputs for the frame's rotation, the translation, and the
+// row-start products the x accumulators reload at each row wrap.
+type frameCtl struct {
+	sin, cos     int32
+	tx, ty       int
+	rowP3, rowP4 int64 // (0−cx)·cos, (0−cx)·sin
+}
+
+// stepAcc holds the four extended-precision rotation products for the
+// next raster position:
+//
+//	p3 = (x−cx)·cos   p4 = (x−cx)·sin
+//	q2 = (y−cy)·(−sin)   q5 = (y−cy)·cos
+//
+// carried exactly in int64 so the per-pixel adds are exact and the S2
+// renormalisation reproduces the reference multiplies bit for bit.
+type stepAcc struct {
+	p3, p4, q2, q5 int64
+}
+
 type s1Regs struct {
-	valid      bool
-	x, y       int
-	sin, cos   int32
-	mapX, mapY int32
+	valid          bool
+	x, y           int
+	p2, p3, p4, p5 int64 // extended products for this pixel
+	tx, ty         int   // frame-latched translation, riding along
 }
 
 type s2Regs struct {
 	valid          bool
 	x, y           int
 	t2, t3, t4, t5 int32
+	tx, ty         int
 }
 
 type s3Regs struct {
@@ -80,6 +121,8 @@ func NewPipeline(sim *hcsim.Sim, lut *fixed.Trig, src *rc200.SRAM, dst *rc200.Di
 		ty:       hcsim.NewReg(sim, 0),
 		pos:      hcsim.NewReg(sim, 0),
 		running:  hcsim.NewReg(sim, false),
+		frame:    hcsim.NewReg(sim, frameCtl{}),
+		acc:      hcsim.NewReg(sim, stepAcc{}),
 		s1:       hcsim.NewReg(sim, s1Regs{}),
 		s2:       hcsim.NewReg(sim, s2Regs{}),
 		s3:       hcsim.NewReg(sim, s3Regs{}),
@@ -143,10 +186,12 @@ func (p *Pipeline) Eval() {
 		}
 	}
 
-	// S3: sums, fixed→int, centre restore; issue the SRAM read.
+	// S3: sums, fixed→int, centre restore; issue the SRAM read. The
+	// translation comes from the stage registers (latched with the
+	// rotation at frame start), not from a live control read.
 	if s2 := p.s2.Q(); s2.valid {
-		sx := fixed.ToInt(fixed.AddSat(s2.t2, s2.t3), fixed.CoordFrac) + cx + p.tx.Q()
-		sy := fixed.ToInt(fixed.AddSat(s2.t4, s2.t5), fixed.CoordFrac) + cy + p.ty.Q()
+		sx := fixed.ToInt(fixed.AddSat(s2.t2, s2.t3), fixed.CoordFrac) + cx + s2.tx
+		sy := fixed.ToInt(fixed.AddSat(s2.t4, s2.t5), fixed.CoordFrac) + cy + s2.ty
 		inRange := sx >= 0 && sx < p.w && sy >= 0 && sy < p.h
 		if inRange {
 			p.src.RequestRead(sy*p.w + sx)
@@ -156,31 +201,65 @@ func (p *Pipeline) Eval() {
 		p.s3.SetD(s3Regs{})
 	}
 
-	// S2: the four fixed multiplies.
+	// S2: renormalise the stepped products — the same rounding the four
+	// multiplies applied, so the coordinates are unchanged bit for bit.
 	if s1 := p.s1.Q(); s1.valid {
 		p.s2.SetD(s2Regs{
 			valid: true, x: s1.x, y: s1.y,
-			t2: fixed.Mul(s1.mapY, -s1.sin, fixed.TrigFrac),
-			t3: fixed.Mul(s1.mapX, s1.cos, fixed.TrigFrac),
-			t4: fixed.Mul(s1.mapX, s1.sin, fixed.TrigFrac),
-			t5: fixed.Mul(s1.mapY, s1.cos, fixed.TrigFrac),
+			t2: fixed.RoundShift64(s1.p2, fixed.StepShift),
+			t3: fixed.RoundShift64(s1.p3, fixed.StepShift),
+			t4: fixed.RoundShift64(s1.p4, fixed.StepShift),
+			t5: fixed.RoundShift64(s1.p5, fixed.StepShift),
+			tx: s1.tx, ty: s1.ty,
 		})
 	} else {
 		p.s2.SetD(s2Regs{})
 	}
 
-	// S0+S1: raster generation, LUT lookup, centre offset, int→fixed.
+	// S0+S1: raster generation and the stepping address generator. At
+	// pixel 0 the control word is latched frame-atomically and the
+	// accumulators are seeded from it; afterwards they advance by adds
+	// only (two per pixel, reload + two at a row wrap).
 	if p.running.Q() {
 		pos := p.pos.Q()
 		x, y := pos%p.w, pos/p.w
-		idx := p.thetaIdx.Q()
+		var fc frameCtl
+		var a stepAcc
+		if pos == 0 {
+			idx := p.thetaIdx.Q()
+			sin, cos := p.lut.SinIdx(idx), p.lut.CosIdx(idx)
+			fc = frameCtl{
+				sin: sin, cos: cos,
+				tx: p.tx.Q(), ty: p.ty.Q(),
+				rowP3: int64(-cx) * int64(cos),
+				rowP4: int64(-cx) * int64(sin),
+			}
+			a = stepAcc{
+				p3: fc.rowP3,
+				p4: fc.rowP4,
+				q2: int64(-cy) * int64(-sin),
+				q5: int64(-cy) * int64(cos),
+			}
+			p.frame.SetD(fc)
+		} else {
+			fc = p.frame.Q()
+			a = p.acc.Q()
+		}
 		p.s1.SetD(s1Regs{
 			valid: true, x: x, y: y,
-			sin:  p.lut.SinIdx(idx),
-			cos:  p.lut.CosIdx(idx),
-			mapX: fixed.FromInt(x-cx, fixed.CoordFrac),
-			mapY: fixed.FromInt(y-cy, fixed.CoordFrac),
+			p2: a.q2, p3: a.p3, p4: a.p4, p5: a.q5,
+			tx: fc.tx, ty: fc.ty,
 		})
+		next := a
+		if x+1 == p.w {
+			next.p3, next.p4 = fc.rowP3, fc.rowP4
+			next.q2 -= int64(fc.sin)
+			next.q5 += int64(fc.cos)
+		} else {
+			next.p3 += int64(fc.cos)
+			next.p4 += int64(fc.sin)
+		}
+		p.acc.SetD(next)
 		if pos+1 >= p.w*p.h {
 			p.running.SetD(false)
 			p.pos.SetD(0)

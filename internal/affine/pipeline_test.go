@@ -133,6 +133,55 @@ func TestPipelineControlLatching(t *testing.T) {
 	}
 }
 
+// refPipelineFrame renders what the pipeline must produce for raw
+// control values, via the per-pixel reference band.
+func refPipelineFrame(ft *FixedTransformer, src *video.Frame, idx, tx, ty int) *video.Frame {
+	out := video.NewFrame(src.W, src.H)
+	ft.transformBandRef(out, src, idx, src.W/2, src.H/2, tx, ty, 0, src.H)
+	return out
+}
+
+// TestPipelineMidFrameControlAtomic is the control-skew regression: a
+// SetControl written while a frame is in flight must not affect that
+// frame at all (previously tx/ty were read at S3 while thetaIdx was
+// read at S1, so a mid-frame write produced pixels combining the new
+// translation with the old rotation), and must fully apply to the next
+// frame.
+func TestPipelineMidFrameControlAtomic(t *testing.T) {
+	src := video.RoadScene{W: 32, H: 24}.Render()
+	ft := NewFixedTransformer(stdLUT())
+	sim, p, disp := buildPipeline(src)
+
+	p.SetControl(30, 2, -1)
+	sim.Tick()
+	p.Start()
+	sim.Tick()
+	for i := 0; i < 32*24/2; i++ {
+		sim.Tick() // half the frame drains
+	}
+	p.SetControl(128, -3, 5) // Sabre writes mid-frame
+	cycles := 0
+	for p.Busy() {
+		sim.Tick()
+		cycles++
+		if cycles > 1_000_000 {
+			t.Fatal("pipeline never finished")
+		}
+	}
+	if want := refPipelineFrame(ft, src, 30, 2, -1); !disp.Frame.Equal(want) {
+		t.Fatal("mid-frame SetControl tore the in-flight frame")
+	}
+
+	p.Start()
+	sim.Tick()
+	for p.Busy() {
+		sim.Tick()
+	}
+	if want := refPipelineFrame(ft, src, 128, -3, 5); !disp.Frame.Equal(want) {
+		t.Fatal("new control did not apply cleanly to the next frame")
+	}
+}
+
 func BenchmarkPipelineQVGAFrame(b *testing.B) {
 	src := video.RoadScene{W: 320, H: 240}.Render()
 	sim := hcsim.NewSim()

@@ -85,6 +85,39 @@ func Mul(a, b int32, frac uint) int32 {
 	return -int32((-p + half) >> frac)
 }
 
+// RoundShift64 renormalises an extended-precision product by shifting
+// right frac bits, rounding to nearest with ties away from zero — the
+// same rounding rule as Mul, lifted to int64 so incremental (DDA)
+// accumulators can carry exact products and renormalise per output:
+//
+//	Mul(a, b, frac) == RoundShift64(int64(a)*int64(b), frac)
+//
+// for every a, b, and because FromInt only left-shifts,
+//
+//	Mul(FromInt(d, CoordFrac), c, TrigFrac)
+//	  == RoundShift64(int64(d)*int64(c), TrigFrac-CoordFrac)
+//
+// which is the identity the stepped affine datapath rests on: the
+// accumulator d*c advances by a plain add of c per pixel (or per row),
+// and one RoundShift64 reproduces the per-pixel multiply bit for bit.
+// Both identities are pinned by TestRoundShift64MatchesMul.
+func RoundShift64(p int64, frac uint) int32 {
+	if frac == 0 {
+		return int32(p)
+	}
+	half := int64(1) << (frac - 1)
+	if p >= 0 {
+		return int32((p + half) >> frac)
+	}
+	return -int32((-p + half) >> frac)
+}
+
+// StepShift is the renormalisation shift of the stepped affine
+// datapath: a Q9.6 coordinate times a Q1.14 trig value accumulated at
+// full precision carries CoordFrac surplus fractional bits less than
+// the Mul it replaces, so TrigFrac−CoordFrac bits are shifted out.
+const StepShift = TrigFrac - CoordFrac
+
 // Sat16 clamps v to the signed 16-bit range, the saturation a 16-bit
 // datapath register applies.
 func Sat16(v int32) int32 {

@@ -89,6 +89,65 @@ func TestMulMatchesFloatProperty(t *testing.T) {
 	}
 }
 
+// TestRoundShift64MatchesMul pins the two identities the stepped
+// affine datapath rests on (see RoundShift64): renormalising an exact
+// int64 product reproduces Mul bit for bit, and the TrigFrac−CoordFrac
+// shift reproduces the Q9.6×Q1.14 coordinate multiply. The sweep
+// covers the full LUT value range (every sine/cosine a 1024-entry
+// Q1.14 table can produce) against the full Q9.6 coordinate range.
+func TestRoundShift64MatchesMul(t *testing.T) {
+	lut := NewTrig(1024, TrigFrac)
+	// Every distinct trig value in the table, plus the extremes.
+	seen := map[int32]bool{MaxInt16: true, MinInt16: true}
+	trig := []int32{MaxInt16, MinInt16}
+	for i := 0; i < lut.Size(); i++ {
+		for _, v := range []int32{lut.SinIdx(i), lut.CosIdx(i), -lut.SinIdx(i)} {
+			if !seen[v] {
+				seen[v] = true
+				trig = append(trig, v)
+			}
+		}
+	}
+	for _, c := range trig {
+		for d := -512; d <= 512; d++ {
+			mapD := FromInt(d, CoordFrac)
+			want := Mul(mapD, c, TrigFrac)
+			if got := RoundShift64(int64(mapD)*int64(c), TrigFrac); got != want {
+				t.Fatalf("RoundShift64(%d*%d, TrigFrac) = %d, want Mul = %d", mapD, c, got, want)
+			}
+			if got := RoundShift64(int64(d)*int64(c), StepShift); got != want {
+				t.Fatalf("RoundShift64(%d*%d, StepShift) = %d, want Mul = %d", d, c, got, want)
+			}
+		}
+	}
+	// frac=0 passthrough.
+	if got := RoundShift64(-12345, 0); got != -12345 {
+		t.Fatalf("RoundShift64 frac=0 = %d", got)
+	}
+}
+
+// TestRoundShift64Rounding pins ties-away-from-zero at the exact
+// half-LSB boundaries in both signs.
+func TestRoundShift64Rounding(t *testing.T) {
+	cases := []struct {
+		p    int64
+		frac uint
+		want int32
+	}{
+		{128, 8, 1},   // +0.5 LSB rounds up
+		{-128, 8, -1}, // −0.5 LSB rounds away
+		{127, 8, 0},
+		{-127, 8, 0},
+		{384, 8, 2}, // +1.5 LSB
+		{-384, 8, -2},
+	}
+	for _, c := range cases {
+		if got := RoundShift64(c.p, c.frac); got != c.want {
+			t.Fatalf("RoundShift64(%d, %d) = %d, want %d", c.p, c.frac, got, c.want)
+		}
+	}
+}
+
 func TestSaturation(t *testing.T) {
 	if got := Sat16(40000); got != MaxInt16 {
 		t.Fatalf("Sat16(40000) = %d", got)

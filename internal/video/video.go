@@ -8,6 +8,7 @@ package video
 import (
 	"bufio"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -64,6 +65,22 @@ func (f *Frame) Set(x, y int, p Pixel) {
 		return
 	}
 	f.Pix[y*f.W+x] = p
+}
+
+// Checksum returns the frame's replay fingerprint: CRC-32 (IEEE) over
+// the pixels as big-endian words. The golden tests and the cmd/vidpipe
+// -check smoke run pin exact datapath output with it.
+func (f *Frame) Checksum() uint32 {
+	h := crc32.NewIEEE()
+	var buf [4]byte
+	for _, p := range f.Pix {
+		buf[0] = byte(p >> 24)
+		buf[1] = byte(p >> 16)
+		buf[2] = byte(p >> 8)
+		buf[3] = byte(p)
+		h.Write(buf[:])
+	}
+	return h.Sum32()
 }
 
 // Clone returns a deep copy.
