@@ -26,10 +26,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the ADXL202 duty-cycle codec round-trip.
+# Short fuzz passes: the ADXL202 duty-cycle codec round-trip, the Sabre
+# engine parity oracle, and the two link-layer packet parsers (the
+# surfaces a faulted wire feeds arbitrary bytes into).
 fuzz:
 	$(GO) test -fuzz=FuzzDutyCycleCodec -fuzztime=30s ./internal/imu/
 	$(GO) test -run '^$$' -fuzz=FuzzEngineParity -fuzztime=30s ./internal/sabre/
+	$(GO) test -run '^$$' -fuzz=FuzzBridgeParser -fuzztime=30s ./internal/link/
+	$(GO) test -run '^$$' -fuzz=FuzzACCParser -fuzztime=30s ./internal/link/
 
 # Every paper table/figure and ablation as a benchmark, with logs.
 bench:
@@ -47,6 +51,7 @@ bench-json:
 	mkdir -p bench
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 5x -count 3 -bench-dur 10 . > bench/latest.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sabre/ >> bench/latest.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/fault/ >> bench/latest.txt
 	$(GO) run ./cmd/benchreport -emit bench -in bench/latest.txt
 
 # End-to-end video-path smoke run: render, distort, correct on the

@@ -8,7 +8,7 @@
 //
 //	boresight [-mode static|dynamic] [-roll 2] [-pitch -3] [-yaw 1]
 //	          [-dur 300] [-seed 1] [-links] [-adaptive] [-focal 400]
-//	          [-engine ref|fast]
+//	          [-ber 0] [-linebreak 0] [-engine ref|fast]
 //
 // After the estimation report it replays the paper's "Kalman on Sabre"
 // headline: the scalar SoftFloat Kalman filter on the emulated core,
@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"boresight/internal/fault"
 	"boresight/internal/geom"
 	"boresight/internal/sabre"
 	"boresight/internal/system"
@@ -34,6 +35,8 @@ func main() {
 	dur := flag.Float64("dur", 300, "run duration (seconds)")
 	seed := flag.Int64("seed", 1, "sensor noise seed")
 	links := flag.Bool("links", false, "route samples through the CAN/bridge/serial wire path")
+	ber := flag.Float64("ber", 0, "wire bit error rate on both links (implies -links)")
+	lineBreak := flag.Float64("linebreak", 0, "per-byte line-break probability on both links (implies -links)")
 	adaptive := flag.Bool("adaptive", false, "enable residual-driven measurement-noise adaptation")
 	focal := flag.Float64("focal", 400, "camera focal length in pixels (for correction params)")
 	csvPath := flag.String("csv", "", "write the residual time series (t, rx, 3σx, ry, 3σy) to this file")
@@ -45,13 +48,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boresight:", err)
 		os.Exit(2)
 	}
-	if err := realMain(*mode, *roll, *pitch, *yaw, *dur, *seed, *links, *adaptive, *focal, *csvPath, eng); err != nil {
+	if err := realMain(*mode, *roll, *pitch, *yaw, *dur, *seed, *links, *adaptive, *focal, *ber, *lineBreak, *csvPath, eng); err != nil {
 		fmt.Fprintln(os.Stderr, "boresight:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links, adaptive bool, focal float64, csvPath string, eng sabre.Engine) error {
+func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links, adaptive bool, focal, ber, lineBreak float64, csvPath string, eng sabre.Engine) error {
 	mis := geom.EulerDeg(roll, pitch, yaw)
 	var cfg system.Config
 	switch mode {
@@ -62,7 +65,15 @@ func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links, ada
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
-	cfg.UseLinks = links
+	if ber < 0 || ber >= 1 {
+		return fmt.Errorf("-ber %v outside [0, 1)", ber)
+	}
+	if lineBreak < 0 || lineBreak >= 1 {
+		return fmt.Errorf("-linebreak %v outside [0, 1)", lineBreak)
+	}
+	cfg.FaultProfile = fault.Profile{BER: ber, LineBreakProb: lineBreak}
+	faulted := cfg.FaultProfile.Enabled()
+	cfg.UseLinks = links || faulted // faults live on the wire: they imply the wire path
 	cfg.Filter.Adaptive = adaptive
 	cfg.ResidualStride = 100
 	if csvPath != "" {
@@ -85,10 +96,17 @@ func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links, ada
 	fmt.Printf("residual 3σ exceedance:  %.2f%% of %d updates (expect ~1%% when tuned)\n",
 		100*res.ExceedanceRate, res.Steps)
 	fmt.Printf("final measurement noise: %.4f m/s²\n", res.FinalMeasNoise)
-	if links {
+	if cfg.UseLinks {
 		fmt.Printf("wire path: %d CAN frames (%d bits), %d bridge bytes, %d ACC packets\n",
 			res.LinkStats.CANFrames, res.LinkStats.CANBits,
 			res.LinkStats.BridgeByts, res.LinkStats.ACCPackets)
+	}
+	if faulted {
+		fmt.Printf("channel faults (BER %.0e, line-break %.0e):\n", ber, lineBreak)
+		printStream("  DMU link", res.DMUStream, res.LinkStats.DroppedDMU)
+		printStream("  ACC link", res.ACCStream, res.LinkStats.DroppedACC)
+		fmt.Printf("  fusion: %d held updates, %d dropout epochs, %d gated outliers\n",
+			res.HeldUpdates, res.DropoutEpochs, res.Gated)
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -108,6 +126,15 @@ func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links, ada
 	fmt.Printf("video correction (focal %.0f px): rotate %+.3f°, shift (%+.1f, %+.1f) px\n",
 		focal, geom.Rad2Deg(p.Theta), p.TX, p.TY)
 	return sabreKalmanHeadline(eng)
+}
+
+// printStream reports one link's degradation telemetry.
+func printStream(name string, s system.StreamStats, dropped int) {
+	fmt.Printf("%s: %d bytes, %d bit errors, %d framing errors, %d dropped bytes, %d breaks; "+
+		"epochs %d good / %d held / %d stale (longest outage %d), %d lost packets\n",
+		name, s.Channel.Bytes, s.Channel.BitErrors, s.Channel.FramingErrors,
+		s.Channel.Dropped, s.Channel.LineBreaks,
+		s.Good, s.Held, s.Stale, s.LongestOutage, dropped)
 }
 
 // sabreKalmanHeadline reruns the paper's on-core workload — the scalar

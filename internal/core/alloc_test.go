@@ -37,6 +37,26 @@ func TestEstimatorStepAllocFree(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("StepFull: %v allocs/run, want 0", allocs)
 	}
+
+	// The degraded paths share the same scratch: held updates and
+	// dropout epochs must be just as allocation-free, since they run in
+	// the same hard-real-time loop while the link is misbehaving.
+	allocs = testing.AllocsPerRun(500, func() {
+		if _, err := e.StepDegraded(dt, f, w, accX, accY, QualityHeld); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("StepDegraded(held): %v allocs/run, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(500, func() {
+		if _, err := e.StepDegraded(dt, f, w, accX, accY, QualityDropout); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("StepDegraded(dropout): %v allocs/run, want 0", allocs)
+	}
 }
 
 // TestMultiStepAllocFree pins the stacked multi-sensor update's

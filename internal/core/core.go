@@ -93,6 +93,23 @@ type Config struct {
 	// the flip side of the paper's residual monitoring.
 	GateSigma float64
 
+	// Chi2Gate additionally rejects measurements whose innovation
+	// chi-square statistic νᵀS⁻¹ν exceeds this threshold (0 disables) —
+	// the classical chi-square innovation test. Unlike GateSigma it has
+	// a principled quantile interpretation: the measurement is 2-D, so
+	// 13.8 gates at the χ²(2) 99.9% level. Both gates share the
+	// breakthrough counter, so a lockout still self-heals.
+	Chi2Gate float64
+
+	// HeldInflation controls measurement-noise inflation for held
+	// (sample-and-hold replayed) measurements fed through StepDegraded:
+	// the k-th consecutive held sample is processed with its noise σ
+	// multiplied by 1 + HeldInflation·k, capped at maxHeldInflation×.
+	// 0 disables inflation — a held sample is then trusted like a fresh
+	// one, which is exactly the failure mode dropout-aware fusion
+	// exists to avoid.
+	HeldInflation float64
+
 	// BumpRecovery enables the "continuously realigned" behaviour of
 	// the paper's Section 2: a sustained residual burst (a run of 3σ
 	// exceedances far too long for noise) means the mounting physically
@@ -120,8 +137,47 @@ func DefaultConfig() Config {
 		MeasNoise:      0.01,
 		AdaptWindow:    200,
 		GateSigma:      6,
+		HeldInflation:  1,
 	}
 }
+
+// Quality classifies the provenance of one measurement epoch for
+// StepDegraded, mirroring the link supervisor's stream status (package
+// fault): a fresh sample came off the wire this epoch, a held sample is
+// the last good value replayed by sample-and-hold, and a dropout means
+// the stream is stale and no trustworthy measurement exists at all.
+type Quality int
+
+const (
+	// QualityFresh marks a measurement received this epoch.
+	QualityFresh Quality = iota
+	// QualityHeld marks a sample-and-hold replay of the last good value;
+	// it is processed with inflated measurement noise (see
+	// Config.HeldInflation).
+	QualityHeld
+	// QualityDropout marks a stale stream: the epoch runs the time
+	// update only, so uncertainty grows honestly instead of the filter
+	// re-ingesting a fossil value at full confidence.
+	QualityDropout
+)
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	switch q {
+	case QualityFresh:
+		return "fresh"
+	case QualityHeld:
+		return "held"
+	case QualityDropout:
+		return "dropout"
+	}
+	return "unknown"
+}
+
+// maxHeldInflation caps the held-sample noise multiplier: beyond ~8× the
+// measurement carries so little weight that further inflation only risks
+// numerical conditioning without changing behaviour.
+const maxHeldInflation = 8.0
 
 // State indices within the error-state vector.
 const (
@@ -158,6 +214,10 @@ type Estimator struct {
 	steps   int
 	gated   int
 	gateRun int
+	// Degraded-stream bookkeeping for StepDegraded.
+	heldRun     int
+	heldUpdates int
+	dropouts    int
 	// Consecutive 3σ exceedances, bump-recovery events and the
 	// post-reopening cooldown countdown.
 	exRun        int
@@ -286,10 +346,44 @@ func (e *Estimator) Step(dt float64, fBody geom.Vec3, accX, accY float64) (kalma
 // lever-arm model needs: the ACC's location feels the extra centripetal
 // acceleration ω×(ω×r) relative to the IMU.
 func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY float64) (kalman.Innovation, error) {
-	if dt <= 0 {
-		return kalman.Innovation{}, fmt.Errorf("core: non-positive dt %v", dt)
+	return e.stepMeas(dt, fBody, omega, accX, accY, 1)
+}
+
+// StepDegraded is StepFull with an explicit measurement quality, the
+// entry point for dropout-aware fusion: fresh samples take the normal
+// path, held (sample-and-hold) samples are de-weighted by inflating
+// their measurement noise with the length of the hold run, and dropout
+// epochs run the time update only so the covariance — and the 3σ
+// confidence the paper reports — keeps growing while the stream is
+// down. The returned Innovation is zero-valued on a dropout epoch.
+func (e *Estimator) StepDegraded(dt float64, fBody, omega geom.Vec3, accX, accY float64, q Quality) (kalman.Innovation, error) {
+	switch q {
+	case QualityDropout:
+		if dt <= 0 {
+			return kalman.Innovation{}, fmt.Errorf("core: non-positive dt %v", dt)
+		}
+		e.predict(dt)
+		e.dropouts++
+		return kalman.Innovation{}, nil
+	case QualityHeld:
+		e.heldRun++
+		e.heldUpdates++
+		inflate := 1.0
+		if e.cfg.HeldInflation > 0 {
+			inflate = 1 + e.cfg.HeldInflation*float64(e.heldRun)
+			if inflate > maxHeldInflation {
+				inflate = maxHeldInflation
+			}
+		}
+		return e.stepMeas(dt, fBody, omega, accX, accY, inflate)
+	default:
+		e.heldRun = 0
+		return e.stepMeas(dt, fBody, omega, accX, accY, 1)
 	}
-	// Process model: random walk.
+}
+
+// predict advances the random-walk process model by dt.
+func (e *Estimator) predict(dt float64) {
 	qa := e.cfg.AngleWalk * e.cfg.AngleWalk * dt
 	e.qd.Set(ixA0, ixA0, qa)
 	e.qd.Set(ixA1, ixA1, qa)
@@ -311,6 +405,15 @@ func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY floa
 		}
 	}
 	e.kf.PredictAdditive(e.qd)
+}
+
+// stepMeas is the shared measurement path; inflate multiplies the
+// measurement noise σ (1 for a fresh sample).
+func (e *Estimator) stepMeas(dt float64, fBody, omega geom.Vec3, accX, accY, inflate float64) (kalman.Innovation, error) {
+	if dt <= 0 {
+		return kalman.Innovation{}, fmt.Errorf("core: non-positive dt %v", dt)
+	}
+	e.predict(dt)
 
 	e.kf.StateInto(e.xbuf)
 	x := e.xbuf
@@ -378,7 +481,8 @@ func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY floa
 			H.Set(1, e.ilv+j, (1+sy)*rot[1])
 		}
 	}
-	r := e.measNoise * e.measNoise
+	sig := e.measNoise * inflate
+	r := sig * sig
 	e.rMat.Set(0, 0, r)
 	e.rMat.Set(1, 1, r)
 	R := e.rMat
@@ -387,17 +491,20 @@ func (e *Estimator) StepFull(dt float64, fBody, omega geom.Vec3, accX, accY floa
 
 	// Innovation gate: an outlier that slipped past the transport
 	// checksums would slam the state; reject anything implausibly far
-	// outside the innovation covariance. A long unbroken run of
-	// rejections means the filter itself is wrong (gate lockout, e.g.
-	// after covariance over-collapse), so the gate breaks through and
-	// accepts a measurement to let the filter re-converge — isolated
-	// outliers can essentially never produce such a run.
-	if e.cfg.GateSigma > 0 {
+	// outside the innovation covariance (GateSigma on the Mahalanobis
+	// distance, Chi2Gate on its square — the chi-square test). A long
+	// unbroken run of rejections means the filter itself is wrong (gate
+	// lockout, e.g. after covariance over-collapse), so the gate breaks
+	// through and accepts a measurement to let the filter re-converge —
+	// isolated outliers can essentially never produce such a run.
+	if e.cfg.GateSigma > 0 || e.cfg.Chi2Gate > 0 {
 		pre, err := e.kf.InnovationOnly(z, h, H, R)
 		if err != nil {
 			return pre, err
 		}
-		if pre.Mahalanobis > e.cfg.GateSigma && e.gateRun < gateBreakthrough {
+		reject := (e.cfg.GateSigma > 0 && pre.Mahalanobis > e.cfg.GateSigma) ||
+			(e.cfg.Chi2Gate > 0 && pre.Chi2() > e.cfg.Chi2Gate)
+		if reject && e.gateRun < gateBreakthrough {
 			e.gated++
 			e.gateRun++
 			e.steps++
@@ -543,6 +650,18 @@ func (e *Estimator) Steps() int { return e.steps }
 
 // Gated returns the number of measurements the innovation gate rejected.
 func (e *Estimator) Gated() int { return e.gated }
+
+// Dropouts returns the number of dropout epochs (time-update-only steps)
+// StepDegraded has processed.
+func (e *Estimator) Dropouts() int { return e.dropouts }
+
+// HeldUpdates returns the number of held (noise-inflated) measurement
+// updates StepDegraded has processed.
+func (e *Estimator) HeldUpdates() int { return e.heldUpdates }
+
+// HeldRun returns the current consecutive-held-sample count (reset by
+// each fresh sample).
+func (e *Estimator) HeldRun() int { return e.heldRun }
 
 // adapt implements the paper's residual-driven noise tuning: residuals
 // should exceed their 3σ envelope about once per hundred samples; a much

@@ -26,6 +26,9 @@ type MultiEstimator struct {
 	per     int // states per sensor
 	// Shared low-passed sensor-frame force per sensor for the Jacobian.
 	steps int
+	// Degraded-stream telemetry (see Reading.Held and dropout epochs).
+	heldUpdates   int
+	dropoutEpochs int
 
 	// Per-epoch scratch, allocated once in NewMulti. The stacked z/h/R
 	// diagonal buffers have capacity for every sensor; the full Jacobian
@@ -48,6 +51,7 @@ type sensorBlock struct {
 	base    int       // first state index of this sensor's block
 	fsLP    geom.Vec3
 	fsLPSet bool
+	heldRun int // consecutive held samples (noise-inflation ramp)
 }
 
 // NewMulti builds a joint estimator for n sensors, each modelled with
@@ -101,10 +105,16 @@ func NewMulti(n int, cfg Config) *MultiEstimator {
 func (m *MultiEstimator) Sensors() int { return len(m.sensors) }
 
 // Reading is one sensor's ACC sample for a Step; Valid false marks a
-// dropout (that sensor contributes no rows this update).
+// dropout (that sensor contributes no rows this update). Held marks a
+// sample-and-hold replay of the last good value: the row still enters
+// the stacked update, but with its measurement noise inflated by the
+// length of the hold run (Config.HeldInflation), so a briefly silent
+// sensor degrades gracefully instead of being trusted at full
+// confidence or dropped outright.
 type Reading struct {
 	FX, FY float64
 	Valid  bool
+	Held   bool
 }
 
 // Step processes one synchronised epoch: the shared IMU specific force
@@ -149,6 +159,9 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 	}
 	m.steps++
 	if active == 0 {
+		// A full dropout epoch: the time update above already ran, so
+		// every sensor's covariance keeps growing honestly.
+		m.dropoutEpochs++
 		return nil
 	}
 
@@ -181,6 +194,19 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 		if !readings[s].Valid {
 			continue
 		}
+		inflate := 1.0
+		if readings[s].Held {
+			blk.heldRun++
+			m.heldUpdates++
+			if m.cfg.HeldInflation > 0 {
+				inflate = 1 + m.cfg.HeldInflation*float64(blk.heldRun)
+				if inflate > maxHeldInflation {
+					inflate = maxHeldInflation
+				}
+			}
+		} else {
+			blk.heldRun = 0
+		}
 		fj := blk.fsLP
 		base := blk.base
 		bx, by, sx, sy := 0.0, 0.0, 0.0, 0.0
@@ -210,7 +236,8 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 			H.Set(row, is, fj[0])
 			H.Set(row+1, is+1, fj[1])
 		}
-		r := m.cfg.MeasNoise * m.cfg.MeasNoise
+		sig := m.cfg.MeasNoise * inflate
+		r := sig * sig
 		rdiag = append(rdiag, r, r)
 		row += 2
 	}
@@ -272,3 +299,11 @@ func (m *MultiEstimator) Relative(i, j int) (geom.Euler, geom.Vec3) {
 
 // Steps returns the number of epochs processed.
 func (m *MultiEstimator) Steps() int { return m.steps }
+
+// DropoutEpochs returns the number of epochs in which no sensor had a
+// valid reading (time update only).
+func (m *MultiEstimator) DropoutEpochs() int { return m.dropoutEpochs }
+
+// HeldUpdates returns the number of held (noise-inflated) sensor rows
+// processed across all epochs.
+func (m *MultiEstimator) HeldUpdates() int { return m.heldUpdates }

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBERSweepShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := BERSweep(&buf, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(berSweepPoints) {
+		t.Fatalf("%d rows, want %d", len(rows), len(berSweepPoints))
+	}
+	// The clean row is a true baseline: no faults, no degradation.
+	if rows[0].BitErrors != 0 || rows[0].DroppedDMU != 0 || rows[0].DroppedACC != 0 {
+		t.Fatalf("clean row reports faults: %+v", rows[0])
+	}
+	// Injection severity grows with BER.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BitErrors <= rows[i-1].BitErrors {
+			t.Errorf("bit errors not increasing: %d at %g vs %d at %g",
+				rows[i].BitErrors, rows[i].BER, rows[i-1].BitErrors, rows[i-1].BER)
+		}
+	}
+	// At the heavy end, packets actually die and the degradation shows
+	// up in the accounting, not silently.
+	last := rows[len(rows)-1]
+	if last.DroppedDMU == 0 || last.DroppedACC == 0 {
+		t.Errorf("BER 1e-3 dropped nothing: %+v", last)
+	}
+	if last.FramingErrors == 0 {
+		t.Error("BER 1e-3 produced no framing errors")
+	}
+	if last.HeldUpdates == 0 {
+		t.Error("BER 1e-3 produced no held updates")
+	}
+	// The acceptance bar: up to 1e-4 the estimator stays inside its own
+	// 3σ claim with sub-third-degree errors.
+	for _, r := range rows {
+		if r.BER > 1e-4 {
+			continue
+		}
+		if !r.Within {
+			t.Errorf("BER %g left the 3σ envelope", r.BER)
+		}
+		for ax := 0; ax < 3; ax++ {
+			if r.ErrDeg[ax] > 0.3 {
+				t.Errorf("BER %g axis %d error %.3f°", r.BER, ax, r.ErrDeg[ax])
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "BER sweep") {
+		t.Error("report missing header")
+	}
+}

@@ -1,0 +1,94 @@
+package fault
+
+// Status classifies one stream sample for the fusion loop: the output
+// of the link supervisor's dropout detection.
+type Status int
+
+const (
+	// Fresh: a checksum-valid packet arrived this sample.
+	Fresh Status = iota
+	// Held: no packet this sample, but the last good value is recent
+	// enough to replay — at reduced confidence (the fusion side
+	// inflates its measurement noise for held samples).
+	Held
+	// Stale: no packet and the hold window has expired (or no packet
+	// has ever arrived). The stream is in dropout; its value must not
+	// be fed to the filter at any confidence.
+	Stale
+)
+
+// String implements fmt.Stringer for telemetry output.
+func (s Status) String() string {
+	switch s {
+	case Fresh:
+		return "fresh"
+	case Held:
+		return "held"
+	case Stale:
+		return "stale"
+	default:
+		return "unknown"
+	}
+}
+
+// Supervisor is a per-stream link watchdog: it watches the
+// packet-arrival process of one sensor link, classifies every sample
+// as Fresh/Held/Stale, and keeps the health counters the degradation
+// telemetry reports. The staleness watchdog is what stops the fusion
+// loop from replaying an ancient held value at any confidence after a
+// sustained dropout.
+type Supervisor struct {
+	staleAfter int
+	missRun    int
+	everGood   bool
+
+	good  int
+	held  int
+	stale int
+	// longestRun is the longest consecutive-miss run seen — the
+	// worst-case dropout the link survived.
+	longestRun int
+}
+
+// NewSupervisor builds a supervisor declaring the stream stale after
+// staleAfter consecutive sample periods without a good packet
+// (defaulted to 5 when non-positive).
+func NewSupervisor(staleAfter int) *Supervisor {
+	if staleAfter <= 0 {
+		staleAfter = 5
+	}
+	return &Supervisor{staleAfter: staleAfter}
+}
+
+// Observe records one sample period: ok is whether a checksum-valid
+// packet arrived during it. It returns the stream's classification for
+// this sample.
+func (s *Supervisor) Observe(ok bool) Status {
+	if ok {
+		s.missRun = 0
+		s.everGood = true
+		s.good++
+		return Fresh
+	}
+	s.missRun++
+	if s.missRun > s.longestRun {
+		s.longestRun = s.missRun
+	}
+	if !s.everGood || s.missRun > s.staleAfter {
+		s.stale++
+		return Stale
+	}
+	s.held++
+	return Held
+}
+
+// MissRun returns the current consecutive-miss count — the age, in
+// sample periods, of the value a Held stream is replaying.
+func (s *Supervisor) MissRun() int { return s.missRun }
+
+// Health returns the cumulative classification counters: fresh
+// samples, held samples, stale (dropout) samples, and the longest
+// consecutive-miss run observed.
+func (s *Supervisor) Health() (good, held, stale, longestRun int) {
+	return s.good, s.held, s.stale, s.longestRun
+}

@@ -205,6 +205,15 @@ func (in Innovation) Exceeds3Sigma() bool {
 	return false
 }
 
+// Chi2 returns the squared Mahalanobis distance νᵀ·S⁻¹·ν — the
+// chi-square statistic of the innovation, distributed χ²(m) for an
+// m-dimensional consistent measurement. Gating on it is the classical
+// chi-square innovation test (compare against the χ² quantile for the
+// measurement dimension, e.g. 13.8 for 99.9% with m = 2).
+func (in Innovation) Chi2() float64 {
+	return in.Mahalanobis * in.Mahalanobis
+}
+
 // innovate fills the innovation scratch (nu, pht, s, chol, sigma, sol)
 // for a measurement and returns the statistics; shared by Update and
 // InnovationOnly.

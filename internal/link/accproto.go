@@ -42,6 +42,14 @@ type ACCParser struct {
 	resyncs int
 }
 
+// drop discards the first k buffered bytes, compacting in place so the
+// backing array never migrates (the parser allocates nothing in steady
+// state).
+func (p *ACCParser) drop(k int) {
+	n := copy(p.buf, p.buf[k:])
+	p.buf = p.buf[:n]
+}
+
 // Push consumes one byte; returns a completed packet and true when one
 // is assembled and checksum-valid.
 func (p *ACCParser) Push(b byte) (ACCPacket, bool) {
@@ -60,7 +68,7 @@ func (p *ACCParser) Push(b byte) (ACCPacket, bool) {
 		}
 		if sum != 0 {
 			p.badSum++
-			p.buf = p.buf[1:]
+			p.drop(1)
 			p.resyncs++
 			continue
 		}
@@ -69,7 +77,7 @@ func (p *ACCParser) Push(b byte) (ACCPacket, bool) {
 			T1Y: uint16(p.buf[3])<<8 | uint16(p.buf[4]),
 			T2:  uint16(p.buf[5])<<8 | uint16(p.buf[6]),
 		}
-		p.buf = p.buf[8:]
+		p.drop(8)
 		p.packets++
 		return pkt, true
 	}
@@ -81,7 +89,7 @@ func (p *ACCParser) dropToSync() {
 			if i > 0 {
 				p.resyncs++
 			}
-			p.buf = p.buf[i:]
+			p.drop(i)
 			return
 		}
 	}

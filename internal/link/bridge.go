@@ -35,16 +35,31 @@ func BridgeEncode(f canbus.Frame) []byte {
 
 // BridgeParser reassembles CAN frames from the bridge's serial byte
 // stream. It resynchronises on the 0xAA 0x55 header after corruption.
+//
+// The parser allocates nothing in steady state: its reassembly buffer
+// is compacted in place (bounded by the 14-byte maximum packet), and a
+// delivered frame's Data aliases parser-owned scratch that is valid
+// until the next Push — callers that retain the payload must copy it,
+// the same borrowing rule as the kalman package's Innovation.
 type BridgeParser struct {
 	buf     []byte
+	data    [8]byte // payload scratch aliased by delivered frames
 	frames  int
 	badSum  int
 	badDLC  int
 	resyncs int
 }
 
+// drop discards the first k buffered bytes, compacting in place so the
+// backing array never migrates (the zero-allocation property).
+func (p *BridgeParser) drop(k int) {
+	n := copy(p.buf, p.buf[k:])
+	p.buf = p.buf[:n]
+}
+
 // Push consumes one received byte; when a complete, checksum-valid
 // packet is assembled it returns the reconstructed CAN frame and true.
+// The frame's Data borrows parser scratch valid until the next Push.
 func (p *BridgeParser) Push(b byte) (canbus.Frame, bool) {
 	p.buf = append(p.buf, b)
 	for {
@@ -54,7 +69,7 @@ func (p *BridgeParser) Push(b byte) (canbus.Frame, bool) {
 			continue
 		}
 		if len(p.buf) >= 2 && p.buf[1] != BridgeSync1 {
-			p.buf = p.buf[1:]
+			p.drop(1)
 			p.resyncs++
 			continue
 		}
@@ -64,7 +79,7 @@ func (p *BridgeParser) Push(b byte) (canbus.Frame, bool) {
 		dlc := int(p.buf[4])
 		if dlc > 8 {
 			p.badDLC++
-			p.buf = p.buf[1:]
+			p.drop(1)
 			p.resyncs++
 			continue
 		}
@@ -78,15 +93,16 @@ func (p *BridgeParser) Push(b byte) (canbus.Frame, bool) {
 		}
 		if sum != 0 {
 			p.badSum++
-			p.buf = p.buf[1:]
+			p.drop(1)
 			p.resyncs++
 			continue
 		}
+		copy(p.data[:], p.buf[5:5+dlc])
 		f := canbus.Frame{
 			ID:   uint16(p.buf[2])<<8 | uint16(p.buf[3]),
-			Data: append([]byte(nil), p.buf[5:5+dlc]...),
+			Data: p.data[:dlc],
 		}
-		p.buf = p.buf[total:]
+		p.drop(total)
 		p.frames++
 		return f, true
 	}
@@ -98,7 +114,7 @@ func (p *BridgeParser) dropToSync() {
 			if i > 0 {
 				p.resyncs++
 			}
-			p.buf = p.buf[i:]
+			p.drop(i)
 			return
 		}
 	}

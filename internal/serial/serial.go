@@ -28,13 +28,18 @@ var ErrFramingError = errors.New("serial: framing error (stop bit low)")
 // EncodeByte returns the 10-bit 8N1 line sequence for one byte:
 // start (low), data LSB first, stop (high). true is line high (idle).
 func EncodeByte(b byte) []bool {
-	out := make([]bool, 0, BitsPerByte)
-	out = append(out, false) // start bit
+	return AppendByteBits(make([]bool, 0, BitsPerByte), b)
+}
+
+// AppendByteBits appends the 10-bit 8N1 line sequence for one byte to
+// dst and returns the extended slice — the allocation-free form of
+// EncodeByte for callers that reuse a bit buffer.
+func AppendByteBits(dst []bool, b byte) []bool {
+	dst = append(dst, false) // start bit
 	for i := 0; i < 8; i++ {
-		out = append(out, b>>uint(i)&1 == 1)
+		dst = append(dst, b>>uint(i)&1 == 1)
 	}
-	out = append(out, true) // stop bit
-	return out
+	return append(dst, true) // stop bit
 }
 
 // Encode returns the line bit sequence for a byte string with no
@@ -52,6 +57,7 @@ func Encode(data []byte) []bool {
 // value is an idle receiver.
 type Decoder struct {
 	inByte   bool
+	waitIdle bool
 	bitIdx   int
 	current  byte
 	framingE int
@@ -59,8 +65,18 @@ type Decoder struct {
 
 // Push consumes one line bit. It returns (b, true, nil) when a byte
 // completes, and a framing error (with the byte discarded) when the
-// stop bit is low.
+// stop bit is low. After a framing error the receiver behaves as a real
+// UART in a break/overrun condition: it refuses to treat the very next
+// low bit as a start bit and instead waits for the line to return to
+// idle (high) before re-arming, so one slipped stop bit cannot cascade
+// into a run of misframed garbage bytes.
 func (d *Decoder) Push(bit bool) (byte, bool, error) {
+	if d.waitIdle {
+		if bit {
+			d.waitIdle = false
+		}
+		return 0, false, nil
+	}
 	if !d.inByte {
 		if !bit { // start bit
 			d.inByte = true
@@ -80,6 +96,7 @@ func (d *Decoder) Push(bit bool) (byte, bool, error) {
 	d.inByte = false
 	if !bit {
 		d.framingE++
+		d.waitIdle = true
 		return 0, false, ErrFramingError
 	}
 	return d.current, true, nil
@@ -141,9 +158,15 @@ func (p *Port) Send(data []byte) {
 	p.nextTxT = t
 }
 
-// Advance moves the port clock to time t and returns every byte whose
-// transfer completed by then, in order.
+// Advance moves the port clock forward to time t and returns every byte
+// whose transfer completed by then, in order. The clock is monotonic: a
+// t earlier than the current port time is clamped to it (queued bytes
+// keep their original delivery times), matching real hardware whose
+// bit clock cannot run backwards.
 func (p *Port) Advance(t float64) []byte {
+	if t < p.now {
+		t = p.now
+	}
 	p.now = t
 	var out []byte
 	i := 0

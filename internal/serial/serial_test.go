@@ -154,6 +154,100 @@ func TestSingleByteQuick(t *testing.T) {
 	}
 }
 
+func TestDecoderCorruptedStopBitCostsOneByte(t *testing.T) {
+	// A corrupted stop bit mid-stream, with the line returning to idle
+	// between bytes, must cost exactly the damaged byte: one framing
+	// error, every other byte delivered intact.
+	var d Decoder
+	stream := EncodeByte(0x11)
+	bad := EncodeByte(0x22)
+	bad[9] = false // corrupted stop bit
+	stream = append(stream, bad...)
+	stream = append(stream, true) // inter-byte idle re-arms the receiver
+	stream = append(stream, EncodeByte(0x5A)...)
+	stream = append(stream, EncodeByte(0x44)...)
+	var got []byte
+	for _, bit := range stream {
+		if b, ok, _ := d.Push(bit); ok {
+			got = append(got, b)
+		}
+	}
+	if d.FramingErrors() != 1 {
+		t.Fatalf("FramingErrors = %d, want 1", d.FramingErrors())
+	}
+	want := []byte{0x11, 0x5A, 0x44}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("decoded % x, want % x", got, want)
+	}
+}
+
+func TestDecoderFramingErrorDoesNotCascadeThroughBreak(t *testing.T) {
+	// A corrupted stop bit that turns into a line break (stuck low)
+	// must produce exactly one framing error: the receiver waits for
+	// the line to return to idle before re-arming, instead of chasing
+	// a phantom start bit every 10 low bits as the old decoder did.
+	var d Decoder
+	bad := EncodeByte(0x7F)
+	bad[9] = false // stop bit low, and the line stays there
+	stream := bad
+	for i := 0; i < 40; i++ { // break: line stuck low
+		stream = append(stream, false)
+	}
+	stream = append(stream, true) // line released to idle
+	stream = append(stream, EncodeByte(0x5C)...)
+	var got []byte
+	for _, bit := range stream {
+		if b, ok, _ := d.Push(bit); ok {
+			got = append(got, b)
+		}
+	}
+	if d.FramingErrors() != 1 {
+		t.Fatalf("FramingErrors = %d during break, want exactly 1", d.FramingErrors())
+	}
+	if !bytes.Equal(got, []byte{0x5C}) {
+		t.Fatalf("decoded % x, want 5c", got)
+	}
+}
+
+func TestPortAdvanceIsMonotonic(t *testing.T) {
+	p := NewPort(Baud9600)
+	bt := p.ByteTime()
+	p.Send([]byte{1, 2})
+	if got := p.Advance(1.5 * bt); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("first advance = %x", got)
+	}
+	// A caller handing back an earlier time must not rewind the clock:
+	// nothing is re-timed and no byte is delivered early or twice.
+	if got := p.Advance(0.5 * bt); len(got) != 0 {
+		t.Fatalf("backwards advance delivered %x", got)
+	}
+	// A send after the clamped call still queues relative to the
+	// (unchanged) current time, not the stale earlier one.
+	p.Send([]byte{3})
+	if got := p.Advance(2.01 * bt); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("got %x", got)
+	}
+	if got := p.Advance(3.51 * bt); !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("got %x", got)
+	}
+}
+
+func TestAppendByteBitsMatchesEncodeByte(t *testing.T) {
+	buf := make([]bool, 0, BitsPerByte)
+	for b := 0; b < 256; b++ {
+		buf = AppendByteBits(buf[:0], byte(b))
+		want := EncodeByte(byte(b))
+		if len(buf) != len(want) {
+			t.Fatalf("byte %#x: %d bits", b, len(buf))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("byte %#x bit %d differs", b, i)
+			}
+		}
+	}
+}
+
 func TestDecodeResyncAfterGarbage(t *testing.T) {
 	// Garbage low bits followed by a valid byte: decoder must
 	// eventually deliver the valid byte.

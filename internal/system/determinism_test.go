@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"boresight/internal/fault"
 	"boresight/internal/geom"
 )
 
@@ -26,7 +27,16 @@ func determinismConfigs() []Config {
 	cfgs[1].ResidualStride = 3
 	cfgs[3].UseLinks = true
 	cfgs[3].LinkFaultProb = 0.01
-	return cfgs
+	// The full channel fault model must replay byte-identically too —
+	// BER through the 8N1 path, drops, bursts, breaks and jitter all
+	// draw from the run seed.
+	faulted := StaticScenario(mis, 5, 15)
+	faulted.UseLinks = true
+	faulted.FaultProfile = fault.Profile{
+		BER: 5e-4, DropProb: 0.01, DupProb: 0.005,
+		BurstProb: 0.002, LineBreakProb: 0.001, JitterProb: 0.05,
+	}
+	return append(cfgs, faulted)
 }
 
 func TestRunIsDeterministic(t *testing.T) {

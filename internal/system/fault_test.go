@@ -1,0 +1,186 @@
+package system
+
+import (
+	"testing"
+
+	"boresight/internal/fault"
+	"boresight/internal/geom"
+)
+
+// TestFirstSampleFaultIsDropout is the regression test for the held-
+// value fall-through bug: when a link fault killed the very first
+// sample (before any value had crossed the wire), Run silently fed the
+// filter the wire-bypassing direct sensor values — and then seeded the
+// held registers from them, so a fully dead link replayed fabricated
+// data at full confidence forever. A dead-from-sample-one link must
+// instead produce nothing but dropout epochs: the filter stays at its
+// prior with its prior uncertainty.
+func TestFirstSampleFaultIsDropout(t *testing.T) {
+	mis := geom.EulerDeg(1.5, -1.0, 0.8)
+	cfg := StaticScenario(mis, 2, 21)
+	cfg.UseLinks = true
+	cfg.LinkFaultProb = 1.0 // every packet on both links dies
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(2 * cfg.SampleRate)
+	if res.Steps != 0 {
+		t.Fatalf("dead link produced %d measurement updates", res.Steps)
+	}
+	if res.DropoutEpochs != n {
+		t.Fatalf("dropout epochs = %d, want %d", res.DropoutEpochs, n)
+	}
+	if res.HeldUpdates != 0 {
+		t.Fatalf("dead link produced %d held updates", res.HeldUpdates)
+	}
+	// The estimate never moved off the prior...
+	est := res.Estimated
+	if est.Roll != 0 || est.Pitch != 0 || est.Yaw != 0 {
+		t.Fatalf("dead link moved the estimate to %+v", est)
+	}
+	// ...and the filter still claims prior-level uncertainty: the 3σ
+	// confidence must not have collapsed below the 15° prior while the
+	// filter was learning nothing.
+	for i, sg := range res.ThreeSigmaDeg {
+		if sg < 14.9 {
+			t.Fatalf("axis %d 3σ = %.2f° after a dead-link run (prior 15°)", i, sg)
+		}
+	}
+	// The DMU stream (two sync bytes + checksum) never aliases: every
+	// epoch is stale. The ACC's shorter packet can alias a corrupted
+	// stream into a rare false accept — that stream must still be
+	// overwhelmingly stale, and (asserted above) the epoch composition
+	// turned every single epoch into a dropout regardless.
+	if res.DMUStream.Stale != n {
+		t.Fatalf("DMU verdicts %+v, want all-stale", res.DMUStream)
+	}
+	if res.ACCStream.Stale < n*9/10 {
+		t.Fatalf("ACC verdicts %+v, want overwhelmingly stale", res.ACCStream)
+	}
+	if res.DMUStream.LongestOutage != n {
+		t.Fatalf("longest outage = %d, want %d", res.DMUStream.LongestOutage, n)
+	}
+}
+
+// TestFaultProfileTelemetryAccounting pins the no-silent-degradation
+// contract: with the full channel model active, every sample epoch is
+// accounted for — it either produced a measurement update (possibly
+// held or gated) or was declared a dropout, and the per-stream verdict
+// counters cover the whole run.
+func TestFaultProfileTelemetryAccounting(t *testing.T) {
+	mis := geom.EulerDeg(1.5, -1.0, 0.8)
+	cfg := StaticScenario(mis, 30, 23)
+	cfg.UseLinks = true
+	cfg.FaultProfile = fault.Profile{
+		BER: 1e-3, DropProb: 0.02, LineBreakProb: 2e-3, JitterProb: 0.05,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(30 * cfg.SampleRate)
+	// Every epoch is a measurement update or a dropout — nothing else.
+	if res.Steps+res.DropoutEpochs != n {
+		t.Fatalf("steps %d + dropouts %d != %d epochs", res.Steps, res.DropoutEpochs, n)
+	}
+	// The channels really ran: bit errors surfaced as framing errors
+	// through the 8N1 path, and byte drops fired.
+	for name, st := range map[string]StreamStats{"DMU": res.DMUStream, "ACC": res.ACCStream} {
+		if st.Channel.Bytes == 0 {
+			t.Fatalf("%s channel saw no bytes", name)
+		}
+		if st.Channel.BitErrors == 0 || st.Channel.FramingErrors == 0 {
+			t.Fatalf("%s: bit errors %d, framing errors %d — BER not on the 8N1 path",
+				name, st.Channel.BitErrors, st.Channel.FramingErrors)
+		}
+		if st.Channel.Dropped == 0 {
+			t.Fatalf("%s channel dropped nothing at 2%%", name)
+		}
+		// The supervisor classified every epoch.
+		if st.Good+st.Held+st.Stale != n {
+			t.Fatalf("%s verdicts %d+%d+%d != %d", name, st.Good, st.Held, st.Stale, n)
+		}
+	}
+	// Lost epochs match the supervisor's view of each stream.
+	if res.LinkStats.DroppedDMU != n-res.DMUStream.Good {
+		t.Fatalf("DroppedDMU %d != %d non-good epochs", res.LinkStats.DroppedDMU, n-res.DMUStream.Good)
+	}
+	if res.LinkStats.DroppedACC != n-res.ACCStream.Good {
+		t.Fatalf("DroppedACC %d != %d non-good epochs", res.LinkStats.DroppedACC, n-res.ACCStream.Good)
+	}
+	// Held updates are attributable to held stream verdicts and never
+	// exceed them; stale verdicts force dropout epochs.
+	if res.HeldUpdates == 0 {
+		t.Fatal("no held updates despite packet losses")
+	}
+	if res.HeldUpdates > res.DMUStream.Held+res.ACCStream.Held {
+		t.Fatalf("held updates %d exceed held verdicts %d+%d",
+			res.HeldUpdates, res.DMUStream.Held, res.ACCStream.Held)
+	}
+	if res.DropoutEpochs < res.DMUStream.Stale && res.DropoutEpochs < res.ACCStream.Stale {
+		t.Fatalf("dropouts %d below stale verdicts (%d / %d)",
+			res.DropoutEpochs, res.DMUStream.Stale, res.ACCStream.Stale)
+	}
+}
+
+// TestModerateBERConvergesWithinConfidence is the acceptance bar: at a
+// wire BER of 1e-4 the estimator still converges inside its own 3σ
+// claim, close to the clean-run answer.
+func TestModerateBERConvergesWithinConfidence(t *testing.T) {
+	mis := geom.EulerDeg(1.5, -1.0, 0.8)
+	clean := StaticScenario(mis, 60, 25)
+	clean.UseLinks = true
+	faulty := StaticScenario(mis, 60, 25)
+	faulty.UseLinks = true
+	faulty.FaultProfile = fault.Profile{BER: 1e-4}
+	rc, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.DMUStream.Channel.BitErrors == 0 {
+		t.Fatal("BER 1e-4 flipped no bits")
+	}
+	if !rf.WithinConfidence {
+		t.Error("BER 1e-4 run left its own 3σ envelope")
+	}
+	for i := range rc.ErrorDeg {
+		if rf.ErrorDeg[i] > rc.ErrorDeg[i]+0.1 {
+			t.Errorf("axis %d: BER error %.4f° vs clean %.4f°", i, rf.ErrorDeg[i], rc.ErrorDeg[i])
+		}
+	}
+}
+
+// TestLineBreakStormDegradesGracefully drives the channel hard —
+// frequent multi-byte line breaks on both links — and requires honest
+// degradation: dropout epochs appear, the estimate still lands inside
+// its (necessarily wider) 3σ claim, and nothing panics anywhere in the
+// transport chain.
+func TestLineBreakStormDegradesGracefully(t *testing.T) {
+	mis := geom.EulerDeg(2, 1, -1)
+	cfg := StaticScenario(mis, 60, 27)
+	cfg.UseLinks = true
+	cfg.FaultProfile = fault.Profile{LineBreakProb: 0.02, LineBreakLen: 16, DropProb: 0.05}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DMUStream.Channel.LineBreaks == 0 {
+		t.Fatal("no line breaks fired")
+	}
+	if res.HeldUpdates == 0 {
+		t.Fatal("storm produced no held updates")
+	}
+	if !res.WithinConfidence {
+		t.Error("storm run left its own 3σ envelope")
+	}
+	for i, e := range res.ErrorDeg {
+		if e > 0.5 {
+			t.Errorf("axis %d error %.4f° under line-break storm", i, e)
+		}
+	}
+}

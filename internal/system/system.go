@@ -14,6 +14,7 @@ import (
 	"boresight/internal/affine"
 	"boresight/internal/canbus"
 	"boresight/internal/core"
+	"boresight/internal/fault"
 	"boresight/internal/geom"
 	"boresight/internal/imu"
 	"boresight/internal/link"
@@ -79,6 +80,15 @@ type Config struct {
 	// corrupted. The parsers drop the damaged packet and the system
 	// holds the last good value — the degradation an EMI burst causes.
 	LinkFaultProb float64
+	// FaultProfile configures the full channel fault model (package
+	// fault) for both links when UseLinks is on: BER run through the
+	// real 8N1 framing, byte drops and duplications, burst corruption,
+	// line breaks and delivery jitter, all drawn deterministically from
+	// Seed so faulted runs replay byte-identically. The zero value
+	// injects nothing. Each link gets an independent channel; the
+	// profile's StaleAfter also sets the link supervisors' staleness
+	// threshold (used even when no faults are injected).
+	FaultProfile fault.Profile
 }
 
 // DefaultConfig returns a ready-to-run configuration for the given
@@ -150,6 +160,21 @@ type Result struct {
 	Bumps int
 	// LinkStats counts transport-layer activity when UseLinks is on.
 	LinkStats LinkStats
+	// Gated counts measurements the innovation gate rejected.
+	Gated int
+	// DropoutEpochs counts epochs the filter ran as time-update-only
+	// because a stream was stale (no trustworthy measurement existed).
+	DropoutEpochs int
+	// HeldUpdates counts measurement updates processed from
+	// sample-and-hold replays with inflated noise.
+	HeldUpdates int
+	// DMUStream / ACCStream report per-link degradation telemetry:
+	// channel fault counters plus the supervisor's classification of
+	// every sample epoch. Together with Gated/DropoutEpochs/HeldUpdates
+	// they account for every injected fault — nothing degrades
+	// silently.
+	DMUStream StreamStats
+	ACCStream StreamStats
 }
 
 // LinkStats counts transport activity for a linked run.
@@ -158,10 +183,25 @@ type LinkStats struct {
 	CANBits    int
 	ACCPackets int
 	BridgeByts int
-	// DroppedDMU / DroppedACC count samples lost to injected faults
-	// (the filter ran on held values instead).
+	// DroppedDMU / DroppedACC count sample epochs on which the link
+	// delivered no valid packet (the filter ran held, or declared a
+	// dropout when the stream went stale).
 	DroppedDMU int
 	DroppedACC int
+}
+
+// StreamStats is one link's degradation telemetry: what the fault
+// channel did to the byte stream, and how the link supervisor
+// classified each sample epoch.
+type StreamStats struct {
+	// Channel holds the fault channel's counters (zero when no fault
+	// profile was enabled).
+	Channel fault.Stats
+	// Good, Held and Stale count sample epochs by supervisor verdict.
+	Good, Held, Stale int
+	// LongestOutage is the longest run of consecutive epochs without a
+	// good packet.
+	LongestOutage int
 }
 
 // Run executes the configured scenario.
@@ -212,10 +252,27 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.LinkFaultProb > 0 {
 		faultRNG = rand.New(rand.NewSource(cfg.Seed + 60))
 	}
-	// Held values for samples lost to link faults.
+	// Per-link fault channels and supervisors. The channels are seeded
+	// from the run seed with distinct offsets so the two links draw
+	// independent — but replayable — fault sequences. The supervisors
+	// run whenever links are on: staleness classification is a property
+	// of the receiver, not of whether faults are being injected.
+	var chDMU, chACC *fault.Channel
+	var supDMU, supACC *fault.Supervisor
+	if cfg.UseLinks {
+		supDMU = fault.NewSupervisor(cfg.FaultProfile.StaleThreshold())
+		supACC = fault.NewSupervisor(cfg.FaultProfile.StaleThreshold())
+		if cfg.FaultProfile.Enabled() {
+			chDMU = fault.NewChannel(cfg.FaultProfile, cfg.Seed+61)
+			chACC = fault.NewChannel(cfg.FaultProfile, cfg.Seed+62)
+		}
+	}
+	// Per-stream held registers, written only from values that actually
+	// crossed the wire — a lost first sample is a dropout epoch, never a
+	// silent fall-through to the wire-bypassing direct values.
 	var heldFb geom.Vec3
 	var heldAx, heldAy float64
-	heldValid := false
+	heldFbValid, heldACCValid := false, false
 
 	bumped := false
 	for i := 0; i < n; i++ {
@@ -235,29 +292,51 @@ func Run(cfg Config) (*Result, error) {
 
 		fb := ds.Accel
 		ax, ay := as.FX, as.FY
+		quality := core.QualityFresh
 		if cfg.UseLinks {
 			lfb, lax, lay, dmuOK, accOK, err := throughLinks(
 				ds, as, cfg.ACC.Codec, &bridge, &accParse, &seq, &res.LinkStats,
-				faultRNG, cfg.LinkFaultProb)
+				faultRNG, cfg.LinkFaultProb, chDMU, chACC)
 			if err != nil {
 				return nil, err
 			}
+			dmuSt := supDMU.Observe(dmuOK)
+			accSt := supACC.Observe(accOK)
 			if dmuOK {
 				fb = lfb
-			} else if heldValid {
-				fb = heldFb
+				heldFb, heldFbValid = lfb, true
+			} else {
 				res.LinkStats.DroppedDMU++
 			}
 			if accOK {
 				ax, ay = lax, lay
-			} else if heldValid {
-				ax, ay = heldAx, heldAy
+				heldAx, heldAy, heldACCValid = lax, lay, true
+			} else {
 				res.LinkStats.DroppedACC++
 			}
-			heldFb, heldAx, heldAy, heldValid = fb, ax, ay, true
+			// Compose the epoch quality from the two stream verdicts:
+			// either stream stale (or never seen) means no trustworthy
+			// measurement exists — a true dropout epoch; either stream
+			// held means the update runs de-weighted on the last good
+			// wire values; both fresh is the normal path. The direct
+			// (wire-bypassing) sensor values are never consumed on a
+			// degraded epoch.
+			switch {
+			case dmuSt == fault.Stale || accSt == fault.Stale,
+				!dmuOK && !heldFbValid, !accOK && !heldACCValid:
+				quality = core.QualityDropout
+			case dmuSt == fault.Held || accSt == fault.Held:
+				quality = core.QualityHeld
+				if !dmuOK {
+					fb = heldFb
+				}
+				if !accOK {
+					ax, ay = heldAx, heldAy
+				}
+			}
 		}
 
-		if cfg.UseOdometry {
+		if cfg.UseOdometry && quality != core.QualityDropout {
 			odoSpeed := wheel.Speed(wheel.Sample(st.Vel.Norm(), dt), dt)
 			aider.Update(dt, odoSpeed, fb[0])
 			if aider.Converged() {
@@ -265,21 +344,25 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		inn, err := est.StepFull(dt, fb, ds.Rate, ax, ay)
+		inn, err := est.StepDegraded(dt, fb, ds.Rate, ax, ay, quality)
 		if err != nil {
 			return nil, fmt.Errorf("system: step %d: %w", i, err)
 		}
-		ex := inn.Exceeds3Sigma()
-		if ex {
-			exceeded++
-		}
-		if i%cfg.ResidualStride == 0 {
-			res.Residuals = append(res.Residuals, ResidualSample{
-				T:  t,
-				RX: inn.Residual[0], RY: inn.Residual[1],
-				SX: inn.Sigma[0], SY: inn.Sigma[1],
-				Exceeded: ex,
-			})
+		// A dropout epoch produces no innovation; the residual history
+		// records only real measurement epochs.
+		if len(inn.Residual) >= 2 {
+			ex := inn.Exceeds3Sigma()
+			if ex {
+				exceeded++
+			}
+			if i%cfg.ResidualStride == 0 {
+				res.Residuals = append(res.Residuals, ResidualSample{
+					T:  t,
+					RX: inn.Residual[0], RY: inn.Residual[1],
+					SX: inn.Sigma[0], SY: inn.Sigma[1],
+					Exceeded: ex,
+				})
+			}
 		}
 		if cfg.EstimateStride > 0 && i%cfg.EstimateStride == 0 {
 			m := est.Misalignment()
@@ -315,10 +398,27 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Steps = est.Steps()
 	res.FinalMeasNoise = est.MeasNoise()
+	res.Gated = est.Gated()
+	res.DropoutEpochs = est.Dropouts()
+	res.HeldUpdates = est.HeldUpdates()
+	if cfg.UseLinks {
+		res.DMUStream = streamStats(chDMU, supDMU)
+		res.ACCStream = streamStats(chACC, supACC)
+	}
 	if n > 0 {
 		res.ExceedanceRate = float64(exceeded) / float64(n)
 	}
 	return res, nil
+}
+
+// streamStats assembles one link's degradation telemetry.
+func streamStats(ch *fault.Channel, sup *fault.Supervisor) StreamStats {
+	var s StreamStats
+	if ch != nil {
+		s.Channel = ch.Stats()
+	}
+	s.Good, s.Held, s.Stale, s.LongestOutage = sup.Health()
+	return s
 }
 
 // calibrateBiases simulates the paper's pre-test calibration: the
@@ -349,11 +449,13 @@ func calibrateBiases(cfg Config) (bx, by float64) {
 // DMU accels → CAN frame bits → CAN decode → bridge packet → bridge
 // parser → scaled values, and ACC → duty-cycle counts → serial packet →
 // parser → codec decode. With a fault generator, each link's byte
-// stream may be corrupted; the affected packet is then rejected by its
-// checksum and the corresponding OK flag comes back false.
+// stream may be corrupted; with per-link fault channels, the bytes also
+// pass through the full channel model (BER via 8N1 framing, drops,
+// bursts, breaks, jitter). A packet damaged either way is rejected by
+// its checksum and the corresponding OK flag comes back false.
 func throughLinks(ds imu.DMUSample, as imu.ACCSample, codec imu.DutyCycleCodec,
 	bridge *link.BridgeParser, accParse *link.ACCParser, seq *byte, stats *LinkStats,
-	faultRNG *rand.Rand, faultProb float64,
+	faultRNG *rand.Rand, faultProb float64, chDMU, chACC *fault.Channel,
 ) (fb geom.Vec3, ax, ay float64, dmuOK, accOK bool, err error) {
 	corrupt := func(data []byte) []byte {
 		if faultRNG == nil || faultProb <= 0 || faultRNG.Float64() >= faultProb || len(data) == 0 {
@@ -362,6 +464,14 @@ func throughLinks(ds imu.DMUSample, as imu.ACCSample, codec imu.DutyCycleCodec,
 		out := append([]byte(nil), data...)
 		out[faultRNG.Intn(len(out))] ^= 1 << uint(faultRNG.Intn(8))
 		return out
+	}
+	// channel passes the byte stream through a link's fault model (nil
+	// channel = clean line).
+	channel := func(ch *fault.Channel, data []byte) []byte {
+		if ch == nil {
+			return data
+		}
+		return ch.Transmit(data)
 	}
 
 	// DMU side.
@@ -378,7 +488,7 @@ func throughLinks(ds imu.DMUSample, as imu.ACCSample, codec imu.DutyCycleCodec,
 		return fb, 0, 0, false, false, fmt.Errorf("system: CAN decode: %w", err)
 	}
 	var decoded *link.DMUAccels
-	for _, b := range corrupt(link.BridgeEncode(rxFrame)) {
+	for _, b := range channel(chDMU, corrupt(link.BridgeEncode(rxFrame))) {
 		stats.BridgeByts++
 		if f, ok := bridge.Push(b); ok {
 			v, err := link.DecodeDMUFrame(f)
@@ -406,7 +516,7 @@ func throughLinks(ds imu.DMUSample, as imu.ACCSample, codec imu.DutyCycleCodec,
 		T2:  uint16(c.T2Counts),
 	}
 	var got *link.ACCPacket
-	for _, b := range corrupt(link.EncodeACC(pkt)) {
+	for _, b := range channel(chACC, corrupt(link.EncodeACC(pkt))) {
 		if p, ok := accParse.Push(b); ok {
 			got = &p
 		}
