@@ -2,7 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-json vidpipe-smoke experiments demo clean
+.PHONY: all build vet test race cover fuzz bench bench-json vidpipe-smoke experiments demo clean
+
+# Statement-coverage floor for the estimation-critical packages (the
+# fusion core, the fault supervisor, the Kalman engine). All three sit
+# well above this today (92-98%); the gate catches a new subsystem
+# landing untested, not noise.
+COVER_FLOOR := 80.0
+COVER_PKGS := ./internal/core/ ./internal/fault/ ./internal/kalman/
 
 # Golden CRC-32 of the corrected frame vidpipe produces at its default
 # settings, captured before the stepped-datapath rewrite. The smoke run
@@ -26,14 +33,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Coverage gate: every estimation-critical package must clear
+# COVER_FLOOR% statement coverage or the target fails.
+cover:
+	@$(GO) test -cover $(COVER_PKGS) | tee /dev/stderr | \
+	awk -v floor=$(COVER_FLOOR) ' \
+		/coverage:/ { \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") { \
+				pct = $$(i+1); sub(/%/, "", pct); \
+				if (pct + 0 < floor) { bad = bad " " $$2 "(" pct "%)" } \
+			} \
+		} \
+		END { if (bad != "") { print "coverage below " floor "%:" bad; exit 1 } }'
+
 # Short fuzz passes: the ADXL202 duty-cycle codec round-trip, the Sabre
-# engine parity oracle, and the two link-layer packet parsers (the
-# surfaces a faulted wire feeds arbitrary bytes into).
+# engine parity oracle, the two link-layer packet parsers (the surfaces
+# a faulted wire feeds arbitrary bytes into), and the adaptive
+# measurement-noise estimator's clamp/skip safety contract under
+# arbitrary outlier, NaN and degraded-quality streams.
 fuzz:
 	$(GO) test -fuzz=FuzzDutyCycleCodec -fuzztime=30s ./internal/imu/
 	$(GO) test -run '^$$' -fuzz=FuzzEngineParity -fuzztime=30s ./internal/sabre/
 	$(GO) test -run '^$$' -fuzz=FuzzBridgeParser -fuzztime=30s ./internal/link/
 	$(GO) test -run '^$$' -fuzz=FuzzACCParser -fuzztime=30s ./internal/link/
+	$(GO) test -run '^$$' -fuzz=FuzzAdaptiveR -fuzztime=30s ./internal/core/
 
 # Every paper table/figure and ablation as a benchmark, with logs.
 bench:
@@ -52,6 +75,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 5x -count 3 -bench-dur 10 . > bench/latest.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sabre/ >> bench/latest.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/fault/ >> bench/latest.txt
+	$(GO) test -run '^$$' -bench BenchmarkAdaptive -benchmem -count 3 ./internal/core/ >> bench/latest.txt
 	$(GO) run ./cmd/benchreport -emit bench -in bench/latest.txt
 
 # End-to-end video-path smoke run: render, distort, correct on the

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	boresight [-mode static|dynamic] [-roll 2] [-pitch -3] [-yaw 1]
-//	          [-dur 300] [-seed 1] [-links] [-adaptive] [-focal 400]
-//	          [-ber 0] [-linebreak 0] [-engine ref|fast]
+//	          [-dur 300] [-seed 1] [-links] [-adaptive] [-adaptiver]
+//	          [-selfcal] [-reconfig] [-driftat 0] [-driftfactor 0]
+//	          [-focal 400] [-ber 0] [-linebreak 0] [-engine ref|fast]
 //
 // After the estimation report it replays the paper's "Kalman on Sabre"
 // headline: the scalar SoftFloat Kalman filter on the emulated core,
@@ -38,6 +39,11 @@ func main() {
 	ber := flag.Float64("ber", 0, "wire bit error rate on both links (implies -links)")
 	lineBreak := flag.Float64("linebreak", 0, "per-byte line-break probability on both links (implies -links)")
 	adaptive := flag.Bool("adaptive", false, "enable residual-driven measurement-noise adaptation")
+	adaptiveR := flag.Bool("adaptiver", false, "enable windowed innovation-matched online R-hat estimation")
+	selfcal := flag.Bool("selfcal", false, "augment the state with IMU accelerometer bias and scale self-calibration")
+	reconfig := flag.Bool("reconfig", false, "hot-swap to a degraded process model when the fault supervisor declares a stream stale")
+	driftAt := flag.Float64("driftat", 0, "inject a mid-run ACC noise regime change at this time (seconds; 0 = off)")
+	driftFactor := flag.Float64("driftfactor", 0, "noise multiplier applied at -driftat (0 = off)")
 	focal := flag.Float64("focal", 400, "camera focal length in pixels (for correction params)")
 	csvPath := flag.String("csv", "", "write the residual time series (t, rx, 3σx, ry, 3σy) to this file")
 	engName := flag.String("engine", "fast", "Sabre execution engine for the on-core Kalman check: ref or fast")
@@ -48,13 +54,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "boresight:", err)
 		os.Exit(2)
 	}
-	if err := realMain(*mode, *roll, *pitch, *yaw, *dur, *seed, *links, *adaptive, *focal, *ber, *lineBreak, *csvPath, eng); err != nil {
+	opts := options{
+		adaptive: *adaptive, adaptiveR: *adaptiveR, selfcal: *selfcal,
+		reconfig: *reconfig, driftAt: *driftAt, driftFactor: *driftFactor,
+	}
+	if err := realMain(*mode, *roll, *pitch, *yaw, *dur, *seed, *links, opts, *focal, *ber, *lineBreak, *csvPath, eng); err != nil {
 		fmt.Fprintln(os.Stderr, "boresight:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links, adaptive bool, focal, ber, lineBreak float64, csvPath string, eng sabre.Engine) error {
+// options groups the estimator-shaping flags.
+type options struct {
+	adaptive, adaptiveR, selfcal, reconfig bool
+	driftAt, driftFactor                   float64
+}
+
+func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links bool, opts options, focal, ber, lineBreak float64, csvPath string, eng sabre.Engine) error {
 	mis := geom.EulerDeg(roll, pitch, yaw)
 	var cfg system.Config
 	switch mode {
@@ -74,7 +90,15 @@ func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links, ada
 	cfg.FaultProfile = fault.Profile{BER: ber, LineBreakProb: lineBreak}
 	faulted := cfg.FaultProfile.Enabled()
 	cfg.UseLinks = links || faulted // faults live on the wire: they imply the wire path
-	cfg.Filter.Adaptive = adaptive
+	cfg.Filter.Adaptive = opts.adaptive
+	cfg.Filter.AdaptiveR.Enabled = opts.adaptiveR
+	if opts.selfcal {
+		cfg.Filter.EstimateIMUBias = true
+		cfg.Filter.EstimateIMUScale = true
+	}
+	cfg.ReconfigureOnFault = opts.reconfig
+	cfg.NoiseDriftAt = opts.driftAt
+	cfg.NoiseDriftFactor = opts.driftFactor
 	cfg.ResidualStride = 100
 	if csvPath != "" {
 		cfg.ResidualStride = 10
@@ -96,6 +120,18 @@ func realMain(mode string, roll, pitch, yaw, dur float64, seed int64, links, ada
 	fmt.Printf("residual 3σ exceedance:  %.2f%% of %d updates (expect ~1%% when tuned)\n",
 		100*res.ExceedanceRate, res.Steps)
 	fmt.Printf("final measurement noise: %.4f m/s²\n", res.FinalMeasNoise)
+	if opts.adaptiveR {
+		fmt.Printf("online R-hat sigma:      %.4f, %.4f m/s² (mean NIS %.2f, expect ~2)\n",
+			res.RHatSigma[0], res.RHatSigma[1], res.MeanNIS)
+	}
+	if opts.selfcal {
+		ib, is := res.IMUBiasEst, res.IMUScaleEst
+		fmt.Printf("IMU self-calibration:    bias %+.4f %+.4f %+.4f m/s², scale %+.5f %+.5f %+.5f\n",
+			ib[0], ib[1], ib[2], is[0], is[1], is[2])
+	}
+	if opts.reconfig {
+		fmt.Printf("runtime reconfigurations: %d\n", res.Reconfigs)
+	}
 	if cfg.UseLinks {
 		fmt.Printf("wire path: %d CAN frames (%d bits), %d bridge bytes, %d ACC packets\n",
 			res.LinkStats.CANFrames, res.LinkStats.CANBits,

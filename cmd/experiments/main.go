@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: table1, fig8, fig9, montecarlo, bersweep, ablations, all")
+	run := flag.String("run", "all", "experiment to run: table1, fig8, fig9, montecarlo, bersweep, adaptivesweep, ablations, all")
 	dur := flag.Float64("dur", 300, "test duration in seconds (the paper uses 300)")
 	csvDir := flag.String("csv", "", "directory for CSV dumps of the figure data (optional)")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel experiments (<= 0 = one per CPU); results are identical at every setting")
@@ -48,8 +48,9 @@ func realMain(run string, dur float64, csvDir string, workers int) error {
 	doFig9 := run == "fig9" || run == "all"
 	doMC := run == "montecarlo" || run == "all"
 	doBER := run == "bersweep" || run == "all"
+	doAdaptive := run == "adaptivesweep" || run == "all"
 	doAbl := run == "ablations" || run == "all"
-	if !doTable1 && !doFig8 && !doFig9 && !doMC && !doBER && !doAbl {
+	if !doTable1 && !doFig8 && !doFig9 && !doMC && !doBER && !doAdaptive && !doAbl {
 		return fmt.Errorf("unknown experiment %q", run)
 	}
 
@@ -111,6 +112,12 @@ func realMain(run string, dur float64, csvDir string, workers int) error {
 	}
 	if doBER {
 		if _, err := experiments.BERSweep(out, min(dur, 120), workers); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if doAdaptive {
+		if _, err := experiments.AdaptiveSweep(out, min(dur, 120), workers); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)

@@ -59,6 +59,88 @@ func TestEstimatorStepAllocFree(t *testing.T) {
 	}
 }
 
+// TestAdaptiveStepAllocFree pins the adaptive tentpole's hot-path
+// contract: with the innovation-matched R-hat ring AND the augmented
+// IMU bias/scale self-calibration states active, the per-epoch paths —
+// fresh, held and dropout — still never touch the heap. The rings and
+// the re-dimensioned scratch are sized at construction (or at
+// Reconfigure, the rare-event path that is allowed to allocate).
+func TestAdaptiveStepAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EstimateLever = true
+	cfg.EstimateIMUBias = true
+	cfg.EstimateIMUScale = true
+	cfg.AdaptiveR.Enabled = true
+	e := New(cfg)
+
+	f := geom.Vec3{0.3, -0.2, -9.81}
+	w := geom.Vec3{0.05, -0.02, 0.3}
+	const dt = 0.01
+	accX, accY := 0.31, -0.18
+
+	for i := 0; i < 10; i++ {
+		if _, err := e.StepFull(dt, f, w, accX, accY); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		step func() error
+	}{
+		{"StepFull", func() error { _, err := e.StepFull(dt, f, w, accX, accY); return err }},
+		{"StepDegraded(held)", func() error {
+			_, err := e.StepDegraded(dt, f, w, accX, accY, QualityHeld)
+			return err
+		}},
+		{"StepDegraded(dropout)", func() error {
+			_, err := e.StepDegraded(dt, f, w, accX, accY, QualityDropout)
+			return err
+		}},
+	} {
+		allocs := testing.AllocsPerRun(500, func() {
+			if err := tc.step(); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s with adaptive R + self-cal: %v allocs/run, want 0", tc.name, allocs)
+		}
+	}
+	if e.adN == 0 {
+		t.Fatal("adaptive ring never fed; the guard exercised the wrong path")
+	}
+}
+
+// TestMultiAdaptiveStepAllocFree extends the multi-sensor guard to the
+// per-block R-hat rings: the all-sensors-valid fast path must stay
+// allocation-free with adaptation on.
+func TestMultiAdaptiveStepAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AdaptiveR.Enabled = true
+	m := NewMulti(3, cfg)
+	f := geom.Vec3{0.3, -0.2, -9.81}
+	readings := []Reading{
+		{FX: 0.31, FY: -0.18, Valid: true},
+		{FX: 0.28, FY: -0.21, Valid: true},
+		{FX: 0.33, FY: -0.19, Valid: true},
+	}
+	const dt = 0.01
+	for i := 0; i < 10; i++ {
+		if err := m.Step(dt, f, readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := m.Step(dt, f, readings); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("multi Step with adaptive R: %v allocs/run, want 0", allocs)
+	}
+}
+
 // TestMultiStepAllocFree pins the stacked multi-sensor update's
 // zero-allocation fast path: with every sensor reporting, Step reuses
 // the full-epoch scratch and allocates nothing.

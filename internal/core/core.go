@@ -21,7 +21,9 @@
 //
 // where δa is a small-angle rotation error folded back into the
 // quaternion after every update (so the linearisation point is always
-// current); the bias, scale and lever-arm blocks are optional. The
+// current); the bias, scale and lever-arm blocks are optional, as are
+// self-calibration blocks for the IMU's own accelerometer bias and
+// scale (Config.EstimateIMUBias/EstimateIMUScale). The
 // lever arm r models the sensor's mounting offset from the IMU, which
 // adds the centripetal term ω×(ω×r) to the force the ACC feels (fed via
 // StepFull's gyro input). Misalignment angles and instrument errors are
@@ -55,6 +57,19 @@ type Config struct {
 	// make observable through the gyros — the self-referencing
 	// extension of the paper's Section 12.
 	EstimateLever bool
+	// EstimateIMUBias adds three IMU accelerometer-bias states (body
+	// frame, m/s²) — augmented self-calibration: the reference triad's
+	// own instrument error is estimated alongside the misalignment, so
+	// IMU drift no longer masquerades as ACC bias. Separating the two
+	// bias families needs attitude variation (the IMU bias is fixed in
+	// the body frame, the ACC's in the sensor frame only as projected
+	// through the misalignment), so expect slow convergence on static
+	// profiles; enabling it without EstimateBias is fully observable.
+	EstimateIMUBias bool
+	// EstimateIMUScale adds three IMU accelerometer scale-factor states
+	// (unitless), observable whenever the specific-force magnitude or
+	// direction varies (manoeuvres, vibration).
+	EstimateIMUScale bool
 
 	// InitAngleSigma is the 1σ prior on each misalignment angle (rad).
 	InitAngleSigma float64
@@ -64,6 +79,10 @@ type Config struct {
 	InitScaleSigma float64
 	// InitLeverSigma is the 1σ prior on each lever-arm component (m).
 	InitLeverSigma float64
+	// InitIMUBiasSigma is the 1σ prior on each IMU bias state (m/s²).
+	InitIMUBiasSigma float64
+	// InitIMUScaleSigma is the 1σ prior on each IMU scale state.
+	InitIMUScaleSigma float64
 
 	// AngleWalk is the process-noise spectral density of the angles
 	// (rad/√s); near zero because mountings drift very slowly.
@@ -74,6 +93,10 @@ type Config struct {
 	ScaleWalk float64
 	// LeverWalk is the lever-arm process density (m/√s).
 	LeverWalk float64
+	// IMUBiasWalk is the IMU bias process density ((m/s²)/√s).
+	IMUBiasWalk float64
+	// IMUScaleWalk is the IMU scale process density (1/√s).
+	IMUScaleWalk float64
 
 	// MeasNoise is the per-axis measurement noise σ (m/s²) — the
 	// paper's central tuning knob.
@@ -86,6 +109,11 @@ type Config struct {
 	// residuals are quiet.
 	Adaptive    bool
 	AdaptWindow int
+
+	// AdaptiveR enables windowed innovation-covariance matching: a
+	// per-axis online measurement-noise estimate R̂ replaces MeasNoise in
+	// every update (see AdaptiveConfig). Supersedes Adaptive when set.
+	AdaptiveR AdaptiveConfig
 
 	// GateSigma rejects measurements whose innovation Mahalanobis
 	// distance exceeds this many sigmas (0 disables). Gating protects
@@ -131,6 +159,11 @@ func DefaultConfig() Config {
 		InitScaleSigma: 0.01,
 		InitLeverSigma: 0.5,
 		LeverWalk:      1e-6,
+
+		InitIMUBiasSigma:  0.05,
+		InitIMUScaleSigma: 0.01,
+		IMUBiasWalk:       1e-6,
+		IMUScaleWalk:      1e-7,
 		AngleWalk:      1e-6,
 		BiasWalk:       1e-6,
 		ScaleWalk:      1e-7,
@@ -193,8 +226,8 @@ type Estimator struct {
 	// att is the estimated sensor-to-body rotation Ĉ_s2b.
 	att geom.Quat
 	// State indices for the optional blocks; -1 when absent.
-	ibx, iby, isx, isy, ilv int
-	n                       int
+	ibx, iby, isx, isy, ilv, iib, iis int
+	n                                 int
 	// Current adapted measurement noise σ.
 	measNoise float64
 	// Low-passed body angular rate for the lever-arm Jacobian.
@@ -207,6 +240,10 @@ type Estimator struct {
 	// the standard practice in transfer-alignment filters.
 	fsLP    geom.Vec3
 	fsLPSet bool
+	// Low-passed raw body force for the IMU-scale Jacobian (same
+	// decorrelation argument as fsLP, but against the pre-correction
+	// measurement the scale states multiply).
+	fbLP geom.Vec3
 	// Exceedance history ring for adaptation.
 	exceed  []bool
 	exIdx   int
@@ -214,6 +251,20 @@ type Estimator struct {
 	steps   int
 	gated   int
 	gateRun int
+	// Innovation-covariance-matching state (AdaptiveR): per-axis sample
+	// rings with running sums, and the current per-axis variance
+	// estimate R̂.
+	ad     AdaptiveConfig
+	adRing [2][]float64
+	adSum  [2]float64
+	adIdx  int
+	adN    int
+	rhat   [2]float64
+	// NIS accumulation over accepted updates (consistency telemetry).
+	nisSum float64
+	nisN   int
+	// Hot-swap reconfiguration count (see Reconfigure).
+	reconfigs int
 	// Degraded-stream bookkeeping for StepDegraded.
 	heldRun     int
 	heldUpdates int
@@ -251,65 +302,153 @@ const bumpCooldownSteps = 2000
 // innovation gate yields (see Step).
 const gateBreakthrough = 50
 
+// layout describes the error-state arrangement a Config produces:
+// total dimension plus the start index of every optional block (-1
+// when absent). Shared by New and Reconfigure so the two can never
+// disagree about where a block lives.
+type layout struct {
+	n                                 int
+	ibx, iby, isx, isy, ilv, iib, iis int
+}
+
+func layoutFor(cfg Config) layout {
+	l := layout{ibx: -1, iby: -1, isx: -1, isy: -1, ilv: -1, iib: -1, iis: -1}
+	n := 3
+	if cfg.EstimateBias {
+		l.ibx, l.iby = n, n+1
+		n += 2
+	}
+	if cfg.EstimateScale {
+		l.isx, l.isy = n, n+1
+		n += 2
+	}
+	if cfg.EstimateLever {
+		l.ilv = n
+		n += 3
+	}
+	if cfg.EstimateIMUBias {
+		l.iib = n
+		n += 3
+	}
+	if cfg.EstimateIMUScale {
+		l.iis = n
+		n += 3
+	}
+	l.n = n
+	return l
+}
+
+// validateConfig reports the first invalid field, shared by New (which
+// panics — a bad construction config is a programming error) and
+// Reconfigure (which returns it — a bad runtime swap must not kill a
+// live filter).
+func validateConfig(cfg Config) error {
+	if cfg.MeasNoise <= 0 {
+		return fmt.Errorf("core: MeasNoise must be positive")
+	}
+	if cfg.InitAngleSigma <= 0 {
+		return fmt.Errorf("core: InitAngleSigma must be positive")
+	}
+	if cfg.EstimateLever && cfg.InitLeverSigma <= 0 {
+		return fmt.Errorf("core: InitLeverSigma must be positive with EstimateLever")
+	}
+	if cfg.EstimateIMUBias && cfg.InitIMUBiasSigma <= 0 {
+		return fmt.Errorf("core: InitIMUBiasSigma must be positive with EstimateIMUBias")
+	}
+	if cfg.EstimateIMUScale && cfg.InitIMUScaleSigma <= 0 {
+		return fmt.Errorf("core: InitIMUScaleSigma must be positive with EstimateIMUScale")
+	}
+	if cfg.AdaptiveR.Enabled {
+		ad := cfg.AdaptiveR.resolved(cfg.MeasNoise)
+		if ad.FloorSigma >= ad.CeilSigma {
+			return fmt.Errorf("core: AdaptiveR FloorSigma %v must be below CeilSigma %v", ad.FloorSigma, ad.CeilSigma)
+		}
+	}
+	return nil
+}
+
+// priorDiag returns the configured prior variance of every state under
+// the given layout.
+func priorDiag(cfg Config, l layout) []float64 {
+	diag := make([]float64, l.n)
+	diag[ixA0] = cfg.InitAngleSigma * cfg.InitAngleSigma
+	diag[ixA1] = diag[ixA0]
+	diag[ixA2] = diag[ixA0]
+	if l.ibx >= 0 {
+		diag[l.ibx] = cfg.InitBiasSigma * cfg.InitBiasSigma
+		diag[l.iby] = diag[l.ibx]
+	}
+	if l.isx >= 0 {
+		diag[l.isx] = cfg.InitScaleSigma * cfg.InitScaleSigma
+		diag[l.isy] = diag[l.isx]
+	}
+	if l.ilv >= 0 {
+		for k := 0; k < 3; k++ {
+			diag[l.ilv+k] = cfg.InitLeverSigma * cfg.InitLeverSigma
+		}
+	}
+	if l.iib >= 0 {
+		for k := 0; k < 3; k++ {
+			diag[l.iib+k] = cfg.InitIMUBiasSigma * cfg.InitIMUBiasSigma
+		}
+	}
+	if l.iis >= 0 {
+		for k := 0; k < 3; k++ {
+			diag[l.iis+k] = cfg.InitIMUScaleSigma * cfg.InitIMUScaleSigma
+		}
+	}
+	return diag
+}
+
+// applyLayout installs a layout's indices and rebuilds the per-step
+// scratch at its dimension.
+func (e *Estimator) applyLayout(l layout) {
+	e.ibx, e.iby, e.isx, e.isy = l.ibx, l.iby, l.isx, l.isy
+	e.ilv, e.iib, e.iis = l.ilv, l.iib, l.iis
+	e.n = l.n
+	e.qd = mat.New(l.n, l.n)
+	e.jacH = mat.New(2, l.n)
+	e.xbuf = make([]float64, l.n)
+}
+
+// initAdaptive resolves and installs the adaptive-R configuration,
+// seeding R̂ at the configured noise (clamped into the adaptive band).
+func (e *Estimator) initAdaptive(cfg Config) {
+	e.ad = cfg.AdaptiveR.resolved(cfg.MeasNoise)
+	if e.ad.Enabled {
+		e.adRing[0] = make([]float64, e.ad.Window)
+		e.adRing[1] = make([]float64, e.ad.Window)
+	} else {
+		e.adRing[0], e.adRing[1] = nil, nil
+	}
+	e.adSum[0], e.adSum[1] = 0, 0
+	e.adIdx, e.adN = 0, 0
+	r := e.ad.clampVar(cfg.MeasNoise * cfg.MeasNoise)
+	e.rhat[0], e.rhat[1] = r, r
+}
+
 // New builds an estimator with the given configuration. The initial
 // misalignment estimate is zero (sensor assumed aligned) with the
 // configured priors.
 func New(cfg Config) *Estimator {
-	if cfg.MeasNoise <= 0 {
-		panic("core: MeasNoise must be positive")
+	if err := validateConfig(cfg); err != nil {
+		panic(err.Error())
 	}
-	if cfg.InitAngleSigma <= 0 {
-		panic("core: InitAngleSigma must be positive")
-	}
-	n := 3
-	e := &Estimator{cfg: cfg, att: geom.IdentityQuat(), ibx: -1, iby: -1, isx: -1, isy: -1, ilv: -1}
-	if cfg.EstimateBias {
-		e.ibx, e.iby = n, n+1
-		n += 2
-	}
-	if cfg.EstimateScale {
-		e.isx, e.isy = n, n+1
-		n += 2
-	}
-	if cfg.EstimateLever {
-		if cfg.InitLeverSigma <= 0 {
-			panic("core: InitLeverSigma must be positive with EstimateLever")
-		}
-		e.ilv = n
-		n += 3
-	}
-	e.n = n
-	e.kf = kalman.New(n)
-	diag := make([]float64, n)
-	diag[ixA0] = cfg.InitAngleSigma * cfg.InitAngleSigma
-	diag[ixA1] = diag[ixA0]
-	diag[ixA2] = diag[ixA0]
-	if cfg.EstimateBias {
-		diag[e.ibx] = cfg.InitBiasSigma * cfg.InitBiasSigma
-		diag[e.iby] = diag[e.ibx]
-	}
-	if cfg.EstimateScale {
-		diag[e.isx] = cfg.InitScaleSigma * cfg.InitScaleSigma
-		diag[e.isy] = diag[e.isx]
-	}
-	if cfg.EstimateLever {
-		for k := 0; k < 3; k++ {
-			diag[e.ilv+k] = cfg.InitLeverSigma * cfg.InitLeverSigma
-		}
-	}
-	e.kf.SetP(mat.Diag(diag...))
+	e := &Estimator{cfg: cfg, att: geom.IdentityQuat()}
+	l := layoutFor(cfg)
+	e.applyLayout(l)
+	e.kf = kalman.New(l.n)
+	e.kf.SetP(mat.Diag(priorDiag(cfg, l)...))
 	e.measNoise = cfg.MeasNoise
 	w := cfg.AdaptWindow
 	if w <= 0 {
 		w = 200
 	}
 	e.exceed = make([]bool, w)
-	e.qd = mat.New(n, n)
-	e.jacH = mat.New(2, n)
+	e.initAdaptive(cfg)
 	e.rMat = mat.New(2, 2)
 	e.zbuf = make([]float64, 2)
 	e.hbuf = make([]float64, 2)
-	e.xbuf = make([]float64, n)
 	return e
 }
 
@@ -364,6 +503,11 @@ func (e *Estimator) StepDegraded(dt float64, fBody, omega geom.Vec3, accX, accY 
 		}
 		e.predict(dt)
 		e.dropouts++
+		// A dropout ends any hold run: the supervisor only re-admits
+		// values after a fresh packet, so the next held sample replays a
+		// recently-fresh value and must start its inflation ramp at 1×
+		// rather than resume a stale capped run.
+		e.heldRun = 0
 		return kalman.Innovation{}, nil
 	case QualityHeld:
 		e.heldRun++
@@ -404,6 +548,18 @@ func (e *Estimator) predict(dt float64) {
 			e.qd.Set(e.ilv+k, e.ilv+k, ql)
 		}
 	}
+	if e.iib >= 0 {
+		qib := e.cfg.IMUBiasWalk * e.cfg.IMUBiasWalk * dt
+		for k := 0; k < 3; k++ {
+			e.qd.Set(e.iib+k, e.iib+k, qib)
+		}
+	}
+	if e.iis >= 0 {
+		qis := e.cfg.IMUScaleWalk * e.cfg.IMUScaleWalk * dt
+		for k := 0; k < 3; k++ {
+			e.qd.Set(e.iis+k, e.iis+k, qis)
+		}
+	}
 	e.kf.PredictAdditive(e.qd)
 }
 
@@ -418,9 +574,21 @@ func (e *Estimator) stepMeas(dt float64, fBody, omega geom.Vec3, accX, accY, inf
 	e.kf.StateInto(e.xbuf)
 	x := e.xbuf
 
-	// Body-frame force at the ACC's location: the IMU measurement plus
-	// the centripetal difference over the estimated lever arm.
-	fAtACC := fBody
+	// Self-calibration: strip the estimated IMU instrument errors from
+	// the measured body force before it is used as the reference —
+	// f_true = f_meas − β − diag(m)·f_meas.
+	fRef := fBody
+	if e.iib >= 0 {
+		fRef = fRef.Sub(geom.Vec3{x[e.iib], x[e.iib+1], x[e.iib+2]})
+	}
+	if e.iis >= 0 {
+		fRef = fRef.Sub(geom.Vec3{x[e.iis] * fBody[0], x[e.iis+1] * fBody[1], x[e.iis+2] * fBody[2]})
+	}
+
+	// Body-frame force at the ACC's location: the corrected IMU
+	// measurement plus the centripetal difference over the estimated
+	// lever arm.
+	fAtACC := fRef
 	if e.ilv >= 0 {
 		r := geom.Vec3{x[e.ilv], x[e.ilv+1], x[e.ilv+2]}
 		fAtACC = fAtACC.Add(omega.Cross(omega.Cross(r)))
@@ -434,10 +602,12 @@ func (e *Estimator) stepMeas(dt float64, fBody, omega geom.Vec3, accX, accY, inf
 	if !e.fsLPSet {
 		e.fsLP = fs
 		e.wLP = omega
+		e.fbLP = fBody
 		e.fsLPSet = true
 	} else {
 		e.fsLP = e.fsLP.Add(fs.Sub(e.fsLP).Scale(alpha))
 		e.wLP = e.wLP.Add(omega.Sub(e.wLP).Scale(alpha))
+		e.fbLP = e.fbLP.Add(fBody.Sub(e.fbLP).Scale(alpha))
 	}
 	fj := e.fsLP
 	bx, by, sx, sy := 0.0, 0.0, 0.0, 0.0
@@ -481,10 +651,32 @@ func (e *Estimator) stepMeas(dt float64, fBody, omega geom.Vec3, accX, accY, inf
 			H.Set(1, e.ilv+j, (1+sy)*rot[1])
 		}
 	}
-	sig := e.measNoise * inflate
-	r := sig * sig
-	e.rMat.Set(0, 0, r)
-	e.rMat.Set(1, 1, r)
+	if e.iib >= 0 || e.iis >= 0 {
+		// IMU self-calibration columns. With C = Ĉ_b2s the measurement
+		// depends on the body force through (1+s_row)·(C·f_true)[row],
+		// and f_true = f_meas − β − diag(m)·f_meas, so
+		// ∂h_row/∂β_j = −(1+s_row)·C[row,j] and
+		// ∂h_row/∂m_j = −(1+s_row)·C[row,j]·f_meas[j] (low-passed, as
+		// with every force regressor — see fbLP).
+		cq := e.att.Conj()
+		for j := 0; j < 3; j++ {
+			var ej geom.Vec3
+			ej[j] = 1
+			col := cq.Apply(ej)
+			if e.iib >= 0 {
+				H.Set(0, e.iib+j, -(1+sx)*col[0])
+				H.Set(1, e.iib+j, -(1+sy)*col[1])
+			}
+			if e.iis >= 0 {
+				H.Set(0, e.iis+j, -(1+sx)*col[0]*e.fbLP[j])
+				H.Set(1, e.iis+j, -(1+sy)*col[1]*e.fbLP[j])
+			}
+		}
+	}
+	r0, r1 := e.measVar()
+	inf2 := inflate * inflate
+	e.rMat.Set(0, 0, r0*inf2)
+	e.rMat.Set(1, 1, r1*inf2)
 	R := e.rMat
 	e.zbuf[0], e.zbuf[1] = accX, accY
 	z := e.zbuf
@@ -533,7 +725,16 @@ func (e *Estimator) stepMeas(dt float64, fBody, omega geom.Vec3, accX, accY, inf
 	e.kf.SetState(x)
 
 	e.steps++
-	if e.cfg.Adaptive {
+	e.nisSum += inn.Chi2()
+	e.nisN++
+	if e.ad.Enabled {
+		// Only accepted fresh epochs feed the covariance matcher: a held
+		// sample's inflated R is a transport artefact, not evidence about
+		// the sensor's noise environment.
+		if inflate == 1 {
+			e.adaptR(inn)
+		}
+	} else if e.cfg.Adaptive {
 		e.adapt(inn)
 	}
 	e.noteBump(inn.Exceeds3Sigma())
@@ -642,7 +843,45 @@ func (e *Estimator) LeverSigmas() geom.Vec3 {
 	return geom.Vec3{e.kf.Sigma(e.ilv), e.kf.Sigma(e.ilv + 1), e.kf.Sigma(e.ilv + 2)}
 }
 
-// MeasNoise returns the current (possibly adapted) measurement noise σ.
+// IMUBias returns the estimated IMU accelerometer bias (zero vector
+// when the states are disabled).
+func (e *Estimator) IMUBias() geom.Vec3 {
+	if e.iib < 0 {
+		return geom.Vec3{}
+	}
+	x := e.kf.State()
+	return geom.Vec3{x[e.iib], x[e.iib+1], x[e.iib+2]}
+}
+
+// IMUBiasSigmas returns the 1σ uncertainty of the IMU bias states.
+func (e *Estimator) IMUBiasSigmas() geom.Vec3 {
+	if e.iib < 0 {
+		return geom.Vec3{}
+	}
+	return geom.Vec3{e.kf.Sigma(e.iib), e.kf.Sigma(e.iib + 1), e.kf.Sigma(e.iib + 2)}
+}
+
+// IMUScales returns the estimated IMU scale-factor errors (zero vector
+// when the states are disabled).
+func (e *Estimator) IMUScales() geom.Vec3 {
+	if e.iis < 0 {
+		return geom.Vec3{}
+	}
+	x := e.kf.State()
+	return geom.Vec3{x[e.iis], x[e.iis+1], x[e.iis+2]}
+}
+
+// IMUScaleSigmas returns the 1σ uncertainty of the IMU scale states.
+func (e *Estimator) IMUScaleSigmas() geom.Vec3 {
+	if e.iis < 0 {
+		return geom.Vec3{}
+	}
+	return geom.Vec3{e.kf.Sigma(e.iis), e.kf.Sigma(e.iis + 1), e.kf.Sigma(e.iis + 2)}
+}
+
+// MeasNoise returns the current (possibly adapted) scalar measurement
+// noise σ used when AdaptiveR is off; with AdaptiveR on, see RHat for
+// the per-axis estimate.
 func (e *Estimator) MeasNoise() float64 { return e.measNoise }
 
 // Steps returns the number of measurement updates processed.

@@ -466,6 +466,44 @@ func BenchmarkEstimatorStepAnglesOnly(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveStep prices the adaptive tentpole's hot path: the
+// full augmented state (lever + IMU bias + IMU scale) with the
+// innovation-matched R-hat ring feeding every epoch. The allocs/op
+// column is the regression gate — it must stay 0.
+func BenchmarkAdaptiveStep(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.EstimateLever = true
+	cfg.EstimateIMUBias = true
+	cfg.EstimateIMUScale = true
+	cfg.AdaptiveR.Enabled = true
+	e := New(cfg)
+	f := tiltForce(geom.EulerDeg(0, 10, 0))
+	w := geom.Vec3{0.05, -0.02, 0.3}
+	zx, zy := accReading(geom.EulerDeg(1, 2, 3), f, 0, 0, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.StepFull(0.01, f, w, zx, zy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveStepAnglesOnly isolates the R-hat ring's own cost
+// against BenchmarkEstimatorStepAnglesOnly (same state, fixed R).
+func BenchmarkAdaptiveStepAnglesOnly(b *testing.B) {
+	cfg := anglesOnlyConfig()
+	cfg.AdaptiveR.Enabled = true
+	e := New(cfg)
+	f := tiltForce(geom.EulerDeg(0, 10, 0))
+	zx, zy := accReading(geom.EulerDeg(1, 2, 3), f, 0, 0, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Step(0.01, f, zx, zy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestInnovationGateRejectsOutliers(t *testing.T) {
 	// Occasional garbage measurements (a corrupted packet that slipped
 	// through an 8-bit checksum) must not disturb a gated filter.

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"boresight/internal/geom"
+)
+
+// FuzzAdaptiveR feeds the adaptive measurement-noise estimator
+// arbitrary fuzz-shaped configurations and measurement streams —
+// including astronomical outliers, NaN/Inf readings and every
+// degraded-quality interleaving — and holds its safety contract:
+//
+//   - the estimator never panics on a valid configuration;
+//   - σ̂ stays inside the configured [floor, ceil] band and finite, no
+//     matter what the innovations did (a non-finite sample must skip
+//     the epoch rather than poison the running window);
+//   - the window occupancy never exceeds the ring length;
+//   - epoch accounting (Steps + Dropouts) stays exact.
+func FuzzAdaptiveR(f *testing.F) {
+	f.Add(int64(1), uint16(8), uint16(50), byte(90), []byte("plain"))
+	f.Add(int64(2), uint16(0), uint16(0), byte(0), []byte{0xff, 0x00, 0x80, 0x7f})
+	f.Add(int64(3), uint16(500), uint16(999), byte(99), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(int64(4), uint16(3), uint16(200), byte(50), []byte{0xaa, 0xbb, 0xcc})
+	f.Fuzz(fuzzAdaptiveROnce)
+}
+
+func fuzzAdaptiveROnce(t *testing.T, seed int64, window, floorMilli uint16, forget byte, data []byte) {
+	{
+		cfg := anglesOnlyConfig()
+		cfg.GateSigma = 0 // let every outlier through to the ring
+		floor := 0.001 + float64(floorMilli%1000)/1000*0.05
+		cfg.AdaptiveR = AdaptiveConfig{
+			Enabled:    true,
+			Window:     int(window % 512), // 0 exercises the default
+			FloorSigma: floor,
+			CeilSigma:  floor * (2 + float64(seed%7&0x7)),
+			Forget:     float64(forget%100) / 100, // 0 exercises the default
+		}
+		e := New(cfg)
+		mis := geom.EulerDeg(1, -1, 0.5)
+		fb := levelForce()
+
+		// Each byte costs a full filter epoch (~1.5µs); cap the stream so
+		// megabyte-sized mutations keep execs — and corpus minimisation,
+		// which re-runs an input thousands of times — fast.
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		epochs := 0
+		for i, b := range data {
+			zx, zy := accReading(mis, fb, 0, 0, 0, 0)
+			// Map each byte to a measurement perturbation spanning sane
+			// noise through absurd outliers, with non-finite injections.
+			switch b % 16 {
+			case 13:
+				zx = math.NaN()
+			case 14:
+				zy = math.Inf(1)
+			case 15:
+				zx, zy = math.Inf(-1), math.NaN()
+			default:
+				mag := math.Pow(10, float64(b%8)-4) // 1e-4 .. 1e3
+				if b&1 == 0 {
+					mag = -mag
+				}
+				zx += mag
+				zy -= mag / 2
+			}
+			q := QualityFresh
+			switch (int(b) + i) % 5 {
+			case 3:
+				q = QualityHeld
+			case 4:
+				q = QualityDropout
+			}
+			if _, err := e.StepDegraded(0.01, fb, geom.Vec3{}, zx, zy, q); err != nil {
+				t.Fatalf("epoch %d: %v", i, err)
+			}
+			epochs++
+
+			sx, sy := e.RHat()
+			const tol = 1e-12
+			for axis, s := range []float64{sx, sy} {
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					t.Fatalf("epoch %d: sigma-hat[%d] non-finite after byte %#x", i, axis, b)
+				}
+				if s < e.ad.FloorSigma-tol || s > e.ad.CeilSigma+tol {
+					t.Fatalf("epoch %d: sigma-hat[%d] = %g outside [%g, %g]",
+						i, axis, s, e.ad.FloorSigma, e.ad.CeilSigma)
+				}
+			}
+			if e.adN > len(e.adRing[0]) {
+				t.Fatalf("epoch %d: window occupancy %d exceeds ring %d", i, e.adN, len(e.adRing[0]))
+			}
+		}
+		if e.Steps()+e.Dropouts() != epochs {
+			t.Fatalf("accounting: Steps %d + Dropouts %d != epochs %d", e.Steps(), e.Dropouts(), epochs)
+		}
+	}
+}

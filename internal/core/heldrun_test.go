@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"boresight/internal/geom"
+)
+
+// Regression tests for the hold-run inflation ramp across dropouts.
+// A dropout epoch means the supervisor declared the stream stale; the
+// next held sample replays a value that arrived fresh after the
+// outage, so its noise-inflation ramp must restart at 1×, not resume
+// the pre-dropout run (which could already sit at the cap).
+
+func TestDropoutResetsHeldRun(t *testing.T) {
+	cfg := anglesOnlyConfig()
+	cfg.HeldInflation = 0.5
+	e := New(cfg)
+	mis := geom.EulerDeg(1, -1, 0)
+	f := levelForce()
+	step := func(q Quality) {
+		t.Helper()
+		zx, zy := accReading(mis, f, 0, 0, 0, 0)
+		if _, err := e.StepDegraded(0.01, f, geom.Vec3{}, zx, zy, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		step(QualityHeld)
+	}
+	if e.HeldRun() != 5 {
+		t.Fatalf("held run = %d after 5 held epochs, want 5", e.HeldRun())
+	}
+	step(QualityDropout)
+	if e.HeldRun() != 0 {
+		t.Fatalf("held run = %d after dropout, want 0 (ramp must restart)", e.HeldRun())
+	}
+	step(QualityHeld)
+	if e.HeldRun() != 1 {
+		t.Fatalf("held run = %d on first held after dropout, want 1", e.HeldRun())
+	}
+	step(QualityFresh)
+	if e.HeldRun() != 0 {
+		t.Fatalf("held run = %d after fresh, want 0", e.HeldRun())
+	}
+}
+
+func TestMultiDropoutResetsHeldRun(t *testing.T) {
+	cfg := anglesOnlyConfig()
+	cfg.HeldInflation = 0.5
+	m := NewMulti(2, cfg)
+	misA := geom.EulerDeg(1, 0, 0)
+	misB := geom.EulerDeg(0, 1, 0)
+	f := levelForce()
+	rng := rand.New(rand.NewSource(7))
+	step := func(heldA, validB bool) {
+		t.Helper()
+		ax, ay := accReading(misA, f, 0, 0, 0, 0)
+		bx, by := accReading(misB, f, 0, 0, 0, 0)
+		readings := []Reading{
+			{FX: ax + 0.001*rng.NormFloat64(), FY: ay, Valid: true, Held: heldA},
+			{FX: bx, FY: by + 0.001*rng.NormFloat64(), Valid: validB},
+		}
+		if err := m.Step(0.01, f, readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Build a hold run on sensor 0 while sensor 1 drops out: the two
+	// ramps must stay independent.
+	for i := 0; i < 4; i++ {
+		step(true, false)
+	}
+	if got := m.sensors[0].heldRun; got != 4 {
+		t.Fatalf("sensor 0 held run = %d, want 4", got)
+	}
+	if got := m.sensors[1].heldRun; got != 0 {
+		t.Fatalf("sensor 1 held run = %d during dropout, want 0", got)
+	}
+	// Sensor 0 drops out: its ramp must reset even though sensor 1 is
+	// back and fresh.
+	ax, ay := accReading(misA, f, 0, 0, 0, 0)
+	bx, by := accReading(misB, f, 0, 0, 0, 0)
+	if err := m.Step(0.01, f, []Reading{
+		{FX: ax, FY: ay, Valid: false},
+		{FX: bx, FY: by, Valid: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.sensors[0].heldRun; got != 0 {
+		t.Fatalf("sensor 0 held run = %d after dropout, want 0 (regression: dropout must end the ramp)", got)
+	}
+	// First held sample after the outage restarts at 1.
+	step(true, true)
+	if got := m.sensors[0].heldRun; got != 1 {
+		t.Fatalf("sensor 0 held run = %d on first held after dropout, want 1", got)
+	}
+}

@@ -24,6 +24,10 @@ type MultiEstimator struct {
 	kf      *kalman.Filter
 	sensors []sensorBlock
 	per     int // states per sensor
+	// Resolved adaptive-R configuration; each sensor carries its own
+	// innovation window so a noisy lidar is de-weighted without touching
+	// the camera's R.
+	ad AdaptiveConfig
 	// Shared low-passed sensor-frame force per sensor for the Jacobian.
 	steps int
 	// Degraded-stream telemetry (see Reading.Held and dropout epochs).
@@ -52,6 +56,12 @@ type sensorBlock struct {
 	fsLP    geom.Vec3
 	fsLPSet bool
 	heldRun int // consecutive held samples (noise-inflation ramp)
+	// Per-sensor innovation-covariance-matching state (AdaptiveR).
+	adRing [2][]float64
+	adSum  [2]float64
+	adIdx  int
+	adN    int
+	rhat   [2]float64
 }
 
 // NewMulti builds a joint estimator for n sensors, each modelled with
@@ -60,8 +70,8 @@ func NewMulti(n int, cfg Config) *MultiEstimator {
 	if n < 1 {
 		panic("core: NewMulti needs at least one sensor")
 	}
-	if cfg.MeasNoise <= 0 || cfg.InitAngleSigma <= 0 {
-		panic("core: noise parameters must be positive")
+	if err := validateConfig(cfg); err != nil {
+		panic(err.Error())
 	}
 	per := 3
 	if cfg.EstimateBias {
@@ -71,11 +81,19 @@ func NewMulti(n int, cfg Config) *MultiEstimator {
 		per += 2
 	}
 	m := &MultiEstimator{cfg: cfg, per: per}
+	m.ad = cfg.AdaptiveR.resolved(cfg.MeasNoise)
 	m.kf = kalman.New(n * per)
 	diag := make([]float64, n*per)
 	for s := 0; s < n; s++ {
 		base := s * per
-		m.sensors = append(m.sensors, sensorBlock{att: geom.IdentityQuat(), base: base})
+		blk := sensorBlock{att: geom.IdentityQuat(), base: base}
+		if m.ad.Enabled {
+			blk.adRing[0] = make([]float64, m.ad.Window)
+			blk.adRing[1] = make([]float64, m.ad.Window)
+		}
+		r := m.ad.clampVar(cfg.MeasNoise * cfg.MeasNoise)
+		blk.rhat[0], blk.rhat[1] = r, r
+		m.sensors = append(m.sensors, blk)
 		diag[base] = cfg.InitAngleSigma * cfg.InitAngleSigma
 		diag[base+1] = diag[base]
 		diag[base+2] = diag[base]
@@ -192,6 +210,10 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 			blk.fsLP = blk.fsLP.Add(fs.Sub(blk.fsLP).Scale(alpha))
 		}
 		if !readings[s].Valid {
+			// An invalid (dropout) reading ends this sensor's hold run:
+			// the next held sample replays a recently-fresh value and
+			// must restart its inflation ramp at 1×.
+			blk.heldRun = 0
 			continue
 		}
 		inflate := 1.0
@@ -236,9 +258,13 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 			H.Set(row, is, fj[0])
 			H.Set(row+1, is+1, fj[1])
 		}
-		sig := m.cfg.MeasNoise * inflate
-		r := sig * sig
-		rdiag = append(rdiag, r, r)
+		r0 := m.cfg.MeasNoise * m.cfg.MeasNoise
+		r1 := r0
+		if m.ad.Enabled {
+			r0, r1 = blk.rhat[0], blk.rhat[1]
+		}
+		inf2 := inflate * inflate
+		rdiag = append(rdiag, r0*inf2, r1*inf2)
 		row += 2
 	}
 
@@ -251,8 +277,12 @@ func (m *MultiEstimator) Step(dt float64, fBody geom.Vec3, readings []Reading) e
 	} else {
 		R = mat.Diag(rdiag...)
 	}
-	if _, err := m.kf.Update(z, h, H, R); err != nil {
+	inn, err := m.kf.Update(z, h, H, R)
+	if err != nil {
 		return err
+	}
+	if m.ad.Enabled {
+		m.adaptRMulti(inn, readings, rdiag)
 	}
 
 	// Fold each sensor's angle correction and zero its error state.
@@ -307,3 +337,61 @@ func (m *MultiEstimator) DropoutEpochs() int { return m.dropoutEpochs }
 // HeldUpdates returns the number of held (noise-inflated) sensor rows
 // processed across all epochs.
 func (m *MultiEstimator) HeldUpdates() int { return m.heldUpdates }
+
+// adaptRMulti feeds each sensor's fresh rows of the stacked innovation
+// into that sensor's covariance-matching window (see AdaptiveConfig).
+// Held rows are skipped — their inflated R is a transport artefact —
+// and a non-finite sample skips that sensor's epoch. Allocation-free:
+// the rings live in the sensor blocks.
+func (m *MultiEstimator) adaptRMulti(inn kalman.Innovation, readings []Reading, rdiag []float64) {
+	w := m.ad.Window
+	row := 0
+	for s := range m.sensors {
+		if !readings[s].Valid {
+			continue
+		}
+		if readings[s].Held {
+			row += 2
+			continue
+		}
+		blk := &m.sensors[s]
+		var samp [2]float64
+		finite := true
+		for j := 0; j < 2; j++ {
+			nu := inn.Residual[row+j]
+			v := nu*nu - (inn.S.At(row+j, row+j) - rdiag[row+j])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+				break
+			}
+			samp[j] = v
+		}
+		row += 2
+		if !finite {
+			continue
+		}
+		for j := 0; j < 2; j++ {
+			blk.adSum[j] += samp[j] - blk.adRing[j][blk.adIdx]
+			blk.adRing[j][blk.adIdx] = samp[j]
+		}
+		blk.adIdx = (blk.adIdx + 1) % w
+		if blk.adN < w {
+			blk.adN++
+			continue
+		}
+		for j := 0; j < 2; j++ {
+			target := m.ad.clampVar(blk.adSum[j] / float64(w))
+			blk.rhat[j] = m.ad.clampVar(m.ad.Forget*blk.rhat[j] + (1-m.ad.Forget)*target)
+		}
+	}
+}
+
+// RHat returns sensor i's current per-axis measurement-noise estimate
+// σ̂ (the configured noise on both axes when AdaptiveR is off).
+func (m *MultiEstimator) RHat(i int) (sx, sy float64) {
+	if !m.ad.Enabled {
+		return m.cfg.MeasNoise, m.cfg.MeasNoise
+	}
+	blk := &m.sensors[i]
+	return math.Sqrt(blk.rhat[0]), math.Sqrt(blk.rhat[1])
+}

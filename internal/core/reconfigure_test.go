@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boresight/internal/geom"
+	"boresight/internal/mat"
+)
+
+// driveEpochs runs a level-pose measurement stream with the given noise.
+func driveEpochs(t *testing.T, e *Estimator, rng *rand.Rand, mis geom.Euler, epochs int, sig float64) {
+	t.Helper()
+	f := levelForce()
+	for k := 0; k < epochs; k++ {
+		zx, zy := accReading(mis, f, 0, 0, 0, 0)
+		zx += sig * rng.NormFloat64()
+		zy += sig * rng.NormFloat64()
+		if _, err := e.Step(0.01, f, zx, zy); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// requirePD fails the test unless the filter covariance is positive
+// definite — the invariant Reconfigure must never break.
+func requirePD(t *testing.T, e *Estimator, when string) {
+	t.Helper()
+	if _, err := mat.CholeskyFactor(e.kf.P()); err != nil {
+		t.Fatalf("%s: covariance not positive definite: %v", when, err)
+	}
+}
+
+// TestReconfigureAddsBlockPreservingCommonState pins the carry-across
+// contract: growing the state keeps every common estimate, the common
+// covariance block bit-for-bit, seeds the new block at its prior with
+// zero cross-covariance, and leaves P positive definite.
+func TestReconfigureAddsBlockPreservingCommonState(t *testing.T) {
+	cfg := DefaultConfig() // angles + bias + scale
+	e := New(cfg)
+	rng := rand.New(rand.NewSource(21))
+	mis := geom.EulerDeg(1.5, -2, 0)
+	driveEpochs(t, e, rng, mis, 2000, cfg.MeasNoise)
+
+	misBefore := e.Misalignment()
+	bxBefore, byBefore := e.Biases()
+	pBefore := e.kf.P()
+	nOld := e.Dim()
+
+	next := cfg
+	next.EstimateIMUBias = true
+	if err := e.Reconfigure(next); err != nil {
+		t.Fatal(err)
+	}
+
+	if e.Dim() != nOld+3 {
+		t.Fatalf("Dim = %d after adding 3 states to %d", e.Dim(), nOld)
+	}
+	if e.Reconfigs() != 1 {
+		t.Fatalf("Reconfigs = %d, want 1", e.Reconfigs())
+	}
+	if got := e.Misalignment(); got != misBefore {
+		t.Errorf("attitude changed across Reconfigure: %v -> %v", misBefore, got)
+	}
+	if bx, by := e.Biases(); bx != bxBefore || by != byBefore {
+		t.Errorf("bias estimates changed: (%v,%v) -> (%v,%v)", bxBefore, byBefore, bx, by)
+	}
+	p := e.kf.P()
+	// The layout appends new blocks, so every common state keeps its
+	// index: the old P must be the leading principal submatrix.
+	for i := 0; i < nOld; i++ {
+		for j := 0; j < nOld; j++ {
+			if p.At(i, j) != pBefore.At(i, j) {
+				t.Fatalf("common covariance (%d,%d) changed: %v -> %v", i, j, pBefore.At(i, j), p.At(i, j))
+			}
+		}
+	}
+	prior := next.InitIMUBiasSigma * next.InitIMUBiasSigma
+	for k := 0; k < 3; k++ {
+		i := nOld + k
+		if got := p.At(i, i); got != prior {
+			t.Errorf("new state %d variance %v, want prior %v", i, got, prior)
+		}
+		for j := 0; j < nOld; j++ {
+			if p.At(i, j) != 0 || p.At(j, i) != 0 {
+				t.Fatalf("new state %d has nonzero cross-covariance with %d", i, j)
+			}
+		}
+	}
+	requirePD(t, e, "after grow")
+
+	// The filter must keep running — and keep converging — afterwards.
+	driveEpochs(t, e, rng, mis, 1000, cfg.MeasNoise)
+	requirePD(t, e, "after post-grow epochs")
+	got := e.Misalignment()
+	if math.Abs(got.Roll-mis.Roll) > geom.Deg2Rad(0.1) || math.Abs(got.Pitch-mis.Pitch) > geom.Deg2Rad(0.1) {
+		t.Errorf("estimate drifted after reconfiguration: %v vs %v", got, mis)
+	}
+}
+
+// TestReconfigureRemovesBlockMarginalises pins the shrink direction:
+// dropped states are marginalised out (the surviving covariance is the
+// corresponding principal submatrix) and the filter keeps serving.
+func TestReconfigureRemovesBlockMarginalises(t *testing.T) {
+	cfg := DefaultConfig()
+	e := New(cfg)
+	rng := rand.New(rand.NewSource(22))
+	mis := geom.EulerDeg(1, 1.5, 0)
+	driveEpochs(t, e, rng, mis, 1500, cfg.MeasNoise)
+
+	pBefore := e.kf.P()
+	misBefore := e.Misalignment()
+
+	next := cfg
+	next.EstimateBias = false
+	next.EstimateScale = false
+	if err := e.Reconfigure(next); err != nil {
+		t.Fatal(err)
+	}
+	if e.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3 (angles only)", e.Dim())
+	}
+	if got := e.Misalignment(); got != misBefore {
+		t.Errorf("attitude changed across shrink: %v -> %v", misBefore, got)
+	}
+	p := e.kf.P()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if p.At(i, j) != pBefore.At(i, j) {
+				t.Fatalf("angle covariance (%d,%d) changed on marginalisation", i, j)
+			}
+		}
+	}
+	if bx, by := e.Biases(); bx != 0 || by != 0 {
+		t.Errorf("removed bias states still report (%v, %v)", bx, by)
+	}
+	requirePD(t, e, "after shrink")
+	driveEpochs(t, e, rng, mis, 500, cfg.MeasNoise)
+	requirePD(t, e, "after post-shrink epochs")
+}
+
+// TestReconfigureAccountingIdentity drives a degraded stream through a
+// mid-run hot swap and checks the epoch accounting survives: every
+// epoch fed is either a measurement step or a dropout, before and
+// after, with cumulative telemetry preserved.
+func TestReconfigureAccountingIdentity(t *testing.T) {
+	cfg := DefaultConfig()
+	e := New(cfg)
+	rng := rand.New(rand.NewSource(23))
+	mis := geom.EulerDeg(2, -1, 0)
+	f := levelForce()
+
+	qualityAt := func(k int) Quality {
+		switch {
+		case k%50 == 48:
+			return QualityHeld
+		case k%50 == 49:
+			return QualityDropout
+		default:
+			return QualityFresh
+		}
+	}
+	const half = 1000
+	feed := func(from, to int) {
+		for k := from; k < to; k++ {
+			zx, zy := accReading(mis, f, 0, 0, 0, 0)
+			zx += cfg.MeasNoise * rng.NormFloat64()
+			zy += cfg.MeasNoise * rng.NormFloat64()
+			if _, err := e.StepDegraded(0.01, f, geom.Vec3{}, zx, zy, qualityAt(k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feed(0, half)
+	heldBefore := e.HeldUpdates()
+	dropBefore := e.Dropouts()
+	if heldBefore == 0 || dropBefore == 0 {
+		t.Fatal("test stream produced no degraded epochs")
+	}
+
+	next := cfg
+	next.EstimateIMUBias = true
+	next.AdaptiveR.Enabled = true
+	if err := e.Reconfigure(next); err != nil {
+		t.Fatal(err)
+	}
+	if e.HeldUpdates() != heldBefore || e.Dropouts() != dropBefore {
+		t.Errorf("cumulative telemetry reset: held %d->%d, dropouts %d->%d",
+			heldBefore, e.HeldUpdates(), dropBefore, e.Dropouts())
+	}
+	if e.HeldRun() != 0 {
+		t.Errorf("transient held run survived the swap: %d", e.HeldRun())
+	}
+	feed(half, 2*half)
+
+	if got := e.Steps() + e.Dropouts(); got != 2*half {
+		t.Errorf("accounting identity broken: Steps+Dropouts = %d, want %d", got, 2*half)
+	}
+	requirePD(t, e, "after degraded swap run")
+}
+
+// TestReconfigureInvalidConfigLeavesFilterUntouched: a bad runtime swap
+// must return an error and change nothing.
+func TestReconfigureInvalidConfigLeavesFilterUntouched(t *testing.T) {
+	cfg := DefaultConfig()
+	e := New(cfg)
+	rng := rand.New(rand.NewSource(24))
+	driveEpochs(t, e, rng, geom.EulerDeg(1, 1, 0), 500, cfg.MeasNoise)
+
+	misBefore := e.Misalignment()
+	dimBefore := e.Dim()
+	pBefore := e.kf.P()
+
+	for _, bad := range []Config{
+		{},
+		func() Config { c := cfg; c.MeasNoise = -1; return c }(),
+		func() Config { c := cfg; c.EstimateIMUScale = true; c.InitIMUScaleSigma = 0; return c }(),
+		func() Config {
+			c := cfg
+			c.AdaptiveR = AdaptiveConfig{Enabled: true, FloorSigma: 1, CeilSigma: 0.5}
+			return c
+		}(),
+	} {
+		if err := e.Reconfigure(bad); err == nil {
+			t.Fatalf("Reconfigure accepted invalid config %+v", bad)
+		}
+	}
+	if e.Dim() != dimBefore || e.Misalignment() != misBefore {
+		t.Fatal("failed Reconfigure modified the estimator")
+	}
+	if !e.kf.P().Equal(pBefore, 0) {
+		t.Fatal("failed Reconfigure modified the covariance")
+	}
+	if e.Reconfigs() != 0 {
+		t.Fatalf("Reconfigs = %d after only failed swaps", e.Reconfigs())
+	}
+}
+
+// TestReconfigureRepeatedSwapsStayPD hammers the swap path: alternating
+// between three layouts with live epochs in between must never produce
+// a non-PD covariance or a non-finite NEES.
+func TestReconfigureRepeatedSwapsStayPD(t *testing.T) {
+	base := DefaultConfig()
+	variants := []Config{
+		base,
+		func() Config { c := base; c.EstimateIMUBias = true; return c }(),
+		func() Config {
+			c := base
+			c.EstimateBias = false
+			c.EstimateIMUBias = true
+			c.EstimateIMUScale = true
+			return c
+		}(),
+	}
+	e := New(variants[0])
+	rng := rand.New(rand.NewSource(25))
+	mis := geom.EulerDeg(1.5, -2, 0)
+	for round := 0; round < 12; round++ {
+		driveEpochs(t, e, rng, mis, 300, base.MeasNoise)
+		next := variants[(round+1)%len(variants)]
+		if err := e.Reconfigure(next); err != nil {
+			t.Fatal(err)
+		}
+		requirePD(t, e, "after swap")
+		if v, err := e.AngleNEES(mis); err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("round %d: NEES %v (err %v)", round, v, err)
+		}
+	}
+	if e.Reconfigs() != 12 {
+		t.Errorf("Reconfigs = %d, want 12", e.Reconfigs())
+	}
+}
+
+// TestScaleProcessNoise pins the degraded-mode config derivation.
+func TestScaleProcessNoise(t *testing.T) {
+	e := New(DefaultConfig())
+	cfg, err := e.ScaleProcessNoise(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := e.Config()
+	if cfg.AngleWalk != 10*base.AngleWalk || cfg.BiasWalk != 10*base.BiasWalk || cfg.ScaleWalk != 10*base.ScaleWalk {
+		t.Errorf("walk densities not scaled: %+v", cfg)
+	}
+	if cfg.MeasNoise != base.MeasNoise {
+		t.Errorf("MeasNoise changed: %v", cfg.MeasNoise)
+	}
+	if _, err := e.ScaleProcessNoise(0); err == nil {
+		t.Error("accepted zero scale factor")
+	}
+	// Round trip: apply the degraded config, then swap back to nominal.
+	if err := e.Reconfigure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reconfigure(base); err != nil {
+		t.Fatal(err)
+	}
+	if e.Config().AngleWalk != base.AngleWalk {
+		t.Errorf("nominal walk not restored: %v", e.Config().AngleWalk)
+	}
+}

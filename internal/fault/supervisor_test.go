@@ -1,0 +1,126 @@
+package fault
+
+import "testing"
+
+// Table-driven verdict-transition tests for the link supervisor. Each
+// case feeds a full arrival sequence ('1' = checksum-valid packet,
+// '.' = miss) and pins the per-sample verdict string ('F'/'H'/'S')
+// plus the final health counters — the boundary epochs, the watchdog
+// re-arm, and the longest-outage bookkeeping across bursts are all
+// positional properties a scalar assertion can miss.
+func TestSupervisorVerdictSequences(t *testing.T) {
+	cases := []struct {
+		name       string
+		staleAfter int
+		arrivals   string // '1' packet arrived, '.' miss
+		verdicts   string // expected per-sample: F fresh, H held, S stale
+		good       int
+		held       int
+		stale      int
+		longest    int
+	}{
+		{
+			name:       "stale until first packet",
+			staleAfter: 3,
+			arrivals:   "...1",
+			verdicts:   "SSSF",
+			good:       1, held: 0, stale: 3, longest: 3,
+		},
+		{
+			name:       "held exactly through the window boundary",
+			staleAfter: 2,
+			arrivals:   "1...",
+			verdicts:   "FHHS",
+			good:       1, held: 2, stale: 1, longest: 3,
+		},
+		{
+			name:       "boundary miss is still held",
+			staleAfter: 3,
+			arrivals:   "1...",
+			verdicts:   "FHHH",
+			good:       1, held: 3, stale: 0, longest: 3,
+		},
+		{
+			name:       "one past the boundary goes stale",
+			staleAfter: 3,
+			arrivals:   "1....",
+			verdicts:   "FHHHS",
+			good:       1, held: 3, stale: 1, longest: 4,
+		},
+		{
+			name:       "fresh packet re-arms the watchdog",
+			staleAfter: 2,
+			arrivals:   "1..1..1",
+			verdicts:   "FHHFHHF",
+			good:       3, held: 4, stale: 0, longest: 2,
+		},
+		{
+			name:       "re-arm after a full dropout",
+			staleAfter: 1,
+			arrivals:   "1...11.",
+			verdicts:   "FHSSFFH",
+			good:       3, held: 2, stale: 2, longest: 3,
+		},
+		{
+			name:       "longest outage tracks the worst burst, not the last",
+			staleAfter: 2,
+			arrivals:   "1....1..1.",
+			verdicts:   "FHHSSFHHFH",
+			good:       3, held: 5, stale: 2, longest: 4,
+		},
+		{
+			name:       "isolated single misses never escalate",
+			staleAfter: 5,
+			arrivals:   "1.1.1.1.",
+			verdicts:   "FHFHFHFH",
+			good:       4, held: 4, stale: 0, longest: 1,
+		},
+		{
+			name:       "never-good stream stays stale regardless of window",
+			staleAfter: 100,
+			arrivals:   ".....",
+			verdicts:   "SSSSS",
+			good:       0, held: 0, stale: 5, longest: 5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.arrivals) != len(tc.verdicts) {
+				t.Fatalf("malformed case: %d arrivals vs %d verdicts", len(tc.arrivals), len(tc.verdicts))
+			}
+			s := NewSupervisor(tc.staleAfter)
+			for i := range tc.arrivals {
+				st := s.Observe(tc.arrivals[i] == '1')
+				var got byte
+				switch st {
+				case Fresh:
+					got = 'F'
+				case Held:
+					got = 'H'
+				case Stale:
+					got = 'S'
+				}
+				if got != tc.verdicts[i] {
+					t.Fatalf("sample %d (%q so far): verdict %c, want %c",
+						i, tc.arrivals[:i+1], got, tc.verdicts[i])
+				}
+			}
+			good, held, stale, longest := s.Health()
+			if good != tc.good || held != tc.held || stale != tc.stale || longest != tc.longest {
+				t.Errorf("health = %d/%d/%d longest %d, want %d/%d/%d longest %d",
+					good, held, stale, longest, tc.good, tc.held, tc.stale, tc.longest)
+			}
+		})
+	}
+}
+
+// TestSupervisorStatusString pins the telemetry labels.
+func TestSupervisorStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Fresh: "fresh", Held: "held", Stale: "stale", Status(99): "unknown",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

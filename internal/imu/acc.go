@@ -135,6 +135,18 @@ func (a *ACC) SetMisalignment(mis geom.Euler) {
 	a.body2s = mis.DCM().T()
 }
 
+// ScaleNoise multiplies both axes' per-sample noise σ by factor — the
+// mid-run noise regime change (vibration onset, temperature ramp) the
+// adaptive measurement-noise estimator must track. Panics on a
+// non-positive factor.
+func (a *ACC) ScaleNoise(factor float64) {
+	if factor <= 0 {
+		panic("imu: noise scale factor must be positive")
+	}
+	a.cfg.Axes[0].NoiseStd *= factor
+	a.cfg.Axes[1].NoiseStd *= factor
+}
+
 // Sample produces one measurement from the truth state plus body-axis
 // vibration. The vibration enters in body axes (same mechanical input as
 // the IMU sees) and is rotated into the sensor frame by the true

@@ -105,6 +105,54 @@ func (f *Filter) ensureScratch(m int) {
 // Dim returns the state dimension.
 func (f *Filter) Dim() int { return len(f.x) }
 
+// Resize re-dimensions the filter to n states: the estimate and
+// covariance are zeroed, the prediction scratch is reallocated, and the
+// measurement scratch is invalidated (it re-sizes lazily on the next
+// update). Callers re-seed state and covariance afterwards with
+// SetState/SetP — Resize is the mechanical half of a filter
+// reconfiguration; the statistical half (which blocks carry over, what
+// priors new states get) belongs to the model that owns the filter.
+// A same-dimension Resize is a no-op so reconfigurations that only swap
+// process matrices keep their state. Resize allocates; it is a
+// rare-event path, not a per-epoch one.
+func (f *Filter) Resize(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("kalman: Resize to %d states", n))
+	}
+	if n == len(f.x) {
+		return
+	}
+	f.x = make([]float64, n)
+	f.p = mat.New(n, n)
+	f.xtmp = make([]float64, n)
+	f.fp = mat.New(n, n)
+	f.tmpNN = mat.New(n, n)
+	f.ikh = mat.New(n, n)
+	// Invalidate the measurement scratch: its n-sized buffers (gain,
+	// P·Hᵀ) no longer fit, so force ensureScratch to rebuild on the
+	// next update whatever measurement dimension it brings.
+	f.m = -1
+}
+
+// NEES returns the normalised estimation error squared eᵀ·P⁻¹·e for a
+// caller-supplied error vector e (estimate minus truth) — the
+// consistency statistic that is χ²(Dim)-distributed when the filter's
+// covariance honestly describes its errors. It is a diagnostic (it
+// factorises P afresh and allocates); simulation harnesses call it at
+// checkpoints, not per epoch. Returns ErrIllConditioned when P cannot
+// be factorised.
+func (f *Filter) NEES(err []float64) (float64, error) {
+	if len(err) != len(f.x) {
+		panic(fmt.Sprintf("kalman: NEES got %d-error for %d states", len(err), len(f.x)))
+	}
+	chol, cerr := mat.CholeskyFactor(f.p)
+	if cerr != nil {
+		return 0, ErrIllConditioned
+	}
+	sol := chol.SolveVec(err)
+	return mat.Dot(err, sol), nil
+}
+
 // State returns a copy of the state estimate. See StateInto for the
 // allocation-free form.
 func (f *Filter) State() []float64 {

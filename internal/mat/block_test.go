@@ -1,0 +1,66 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCopyBlockTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := randMat(rng, 5, 6)
+	dst := randMat(rng, 7, 7)
+	keep := dst.Clone()
+	CopyBlockTo(dst, 2, 3, src, 1, 2, 3, 4)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			inBlock := i >= 2 && i < 5 && j >= 3 && j < 7
+			if inBlock {
+				if dst.At(i, j) != src.At(i-2+1, j-3+2) {
+					t.Fatalf("block element (%d,%d) not copied", i, j)
+				}
+			} else if dst.At(i, j) != keep.At(i, j) {
+				t.Fatalf("element (%d,%d) outside the block was modified", i, j)
+			}
+		}
+	}
+}
+
+func TestCopyBlockToZeroSized(t *testing.T) {
+	src := New(3, 3)
+	dst := Identity(3)
+	keep := dst.Clone()
+	CopyBlockTo(dst, 1, 1, src, 0, 0, 0, 0)
+	if !dst.Equal(keep, 0) {
+		t.Fatal("zero-sized block copy modified the destination")
+	}
+}
+
+func TestCopyBlockToPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	a := New(4, 4)
+	b := New(4, 4)
+	expectPanic("source out of range", func() { CopyBlockTo(b, 0, 0, a, 2, 2, 3, 3) })
+	expectPanic("dest out of range", func() { CopyBlockTo(b, 3, 3, a, 0, 0, 2, 2) })
+	expectPanic("negative block", func() { CopyBlockTo(b, 0, 0, a, 0, 0, -1, 2) })
+	expectPanic("negative source origin", func() { CopyBlockTo(b, 0, 0, a, -1, 0, 1, 1) })
+	expectPanic("alias", func() { CopyBlockTo(a, 0, 0, a, 2, 2, 2, 2) })
+}
+
+func TestCopyBlockToAllocFree(t *testing.T) {
+	src := Identity(8)
+	dst := New(10, 10)
+	allocs := testing.AllocsPerRun(100, func() {
+		CopyBlockTo(dst, 1, 1, src, 0, 0, 8, 8)
+	})
+	if allocs != 0 {
+		t.Errorf("CopyBlockTo: %v allocs/run, want 0", allocs)
+	}
+}

@@ -212,3 +212,28 @@ func ScaleVecTo(dst []float64, s float64, a []float64) {
 		dst[i] = s * v
 	}
 }
+
+// CopyBlockTo copies the r x c block of src whose top-left element is
+// (si, sj) into dst at (di, dj). Both blocks must lie fully inside
+// their matrices, and dst must not alias src (block moves inside one
+// matrix would need overlap analysis this kernel deliberately does not
+// do). It allocates nothing. The filter-reconfiguration path uses it to
+// carry covariance blocks between state layouts of different dimension.
+func CopyBlockTo(dst *Mat, di, dj int, src *Mat, si, sj, r, c int) {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: CopyBlockTo negative block %dx%d", r, c))
+	}
+	if si < 0 || sj < 0 || si+r > src.rows || sj+c > src.cols {
+		panic(fmt.Sprintf("mat: CopyBlockTo source block (%d,%d)+%dx%d outside %dx%d",
+			si, sj, r, c, src.rows, src.cols))
+	}
+	if di < 0 || dj < 0 || di+r > dst.rows || dj+c > dst.cols {
+		panic(fmt.Sprintf("mat: CopyBlockTo destination block (%d,%d)+%dx%d outside %dx%d",
+			di, dj, r, c, dst.rows, dst.cols))
+	}
+	checkNoAlias("CopyBlockTo", dst, src)
+	for i := 0; i < r; i++ {
+		copy(dst.data[(di+i)*dst.cols+dj:(di+i)*dst.cols+dj+c],
+			src.data[(si+i)*src.cols+sj:(si+i)*src.cols+sj+c])
+	}
+}

@@ -1,0 +1,128 @@
+// Package stats provides the chi-square machinery behind the filter
+// consistency harness: the NEES/NIS tests treat normalised estimation
+// errors and innovations as chi-square variates and check them against
+// exact quantiles, so "the estimator is 3σ-consistent" becomes a
+// falsifiable statistical statement instead of an eyeballed plot.
+//
+// A consistent m-dimensional innovation has NIS νᵀS⁻¹ν ~ χ²(m); the
+// mean of K independent NIS samples is distributed χ²(mK)/K, which is
+// the statistic the Monte-Carlo batches use. The same construction
+// applies to the NEES eᵀP⁻¹e with the state (or marginal block)
+// dimension. The functions here are plain float64 special functions —
+// no allocation, no global state — so tests and experiment tables can
+// call them freely.
+package stats
+
+import "math"
+
+// ChiSquareCDF returns P(X ≤ x) for X ~ χ²(k). It is the regularised
+// lower incomplete gamma function P(k/2, x/2). k need not be an
+// integer (fractional degrees of freedom arise from averaged
+// statistics); x < 0 returns 0.
+func ChiSquareCDF(k, x float64) float64 {
+	if x <= 0 || k <= 0 {
+		return 0
+	}
+	return regIncGammaLower(k/2, x/2)
+}
+
+// ChiSquareQuantile returns the x with P(X ≤ x) = p for X ~ χ²(k),
+// solved by bisection on the CDF (monotone, so this is robust; the
+// harness calls it a handful of times per test, not per epoch).
+// p outside (0, 1) panics: the caller asked for an impossible quantile.
+func ChiSquareQuantile(k, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: quantile probability must be in (0, 1)")
+	}
+	// Bracket: the mean is k and the variance 2k, so k + 20√(2k) + 20
+	// covers any p below 1 − 1e-12 for the dimensions the harness uses.
+	lo, hi := 0.0, k+20*math.Sqrt(2*k)+20
+	for ChiSquareCDF(k, hi) < p {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if ChiSquareCDF(k, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MeanChiSquareBounds returns the (lo, hi) acceptance interval for the
+// MEAN of n independent χ²(k) samples at two-sided confidence conf
+// (e.g. 0.99): the mean is χ²(nk)/n, so the bounds are the matching
+// quantiles of χ²(nk) divided by n. This is the standard NEES/NIS
+// consistency interval over a Monte-Carlo batch.
+func MeanChiSquareBounds(k float64, n int, conf float64) (lo, hi float64) {
+	if n < 1 {
+		panic("stats: need at least one sample")
+	}
+	alpha := (1 - conf) / 2
+	nk := float64(n) * k
+	return ChiSquareQuantile(nk, alpha) / float64(n), ChiSquareQuantile(nk, 1-alpha) / float64(n)
+}
+
+// regIncGammaLower is the regularised lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a), via the series expansion for x < a+1 and the
+// continued fraction for the complement otherwise (Numerical Recipes
+// gammp/gser/gcf).
+func regIncGammaLower(a, x float64) float64 {
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// gammaSeries evaluates P(a, x) by its power series.
+func gammaSeries(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a, x) = 1 − P(a, x) by the
+// modified Lentz continued fraction.
+func gammaContinuedFraction(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -36,7 +36,20 @@ func determinismConfigs() []Config {
 		BER: 5e-4, DropProb: 0.01, DupProb: 0.005,
 		BurstProb: 0.002, LineBreakProb: 0.001, JitterProb: 0.05,
 	}
-	return append(cfgs, faulted)
+	cfgs = append(cfgs, faulted)
+	// The adaptive tentpole must replay too: online R-hat, IMU
+	// self-calibration states, a mid-run noise regime change and
+	// supervisor-driven hot-swap reconfiguration all share the run seed.
+	adaptive := StaticScenario(mis, 5, 16)
+	adaptive.Filter.AdaptiveR.Enabled = true
+	adaptive.Filter.EstimateIMUBias = true
+	adaptive.Filter.EstimateIMUScale = true
+	adaptive.NoiseDriftAt = 2
+	adaptive.NoiseDriftFactor = 3
+	adaptive.ReconfigureOnFault = true
+	adaptive.UseLinks = true
+	adaptive.FaultProfile = fault.Profile{BER: 2e-3, LineBreakProb: 0.002}
+	return append(cfgs, adaptive)
 }
 
 func TestRunIsDeterministic(t *testing.T) {

@@ -89,6 +89,24 @@ type Config struct {
 	// profile's StaleAfter also sets the link supervisors' staleness
 	// threshold (used even when no faults are injected).
 	FaultProfile fault.Profile
+	// NoiseDriftAt / NoiseDriftFactor inject an unmodelled mid-run noise
+	// regime change: at NoiseDriftAt seconds the ACC's per-sample noise
+	// σ is multiplied by NoiseDriftFactor (both must be positive to take
+	// effect). The scenario the adaptive R̂ estimator
+	// (core.Config.AdaptiveR) exists for.
+	NoiseDriftAt     float64
+	NoiseDriftFactor float64
+	// ReconfigureOnFault hot-swaps the filter's process model from the
+	// link supervisors' verdicts (UseLinks only): when either stream
+	// goes Stale the process-noise densities are scaled by
+	// DegradedWalkScale — the state is allowed to wander faster while
+	// measurements are missing, so re-convergence after the outage is
+	// fast — and when both streams are Fresh again the nominal model is
+	// restored. Each transition is one core.Estimator.Reconfigure call.
+	ReconfigureOnFault bool
+	// DegradedWalkScale is the degraded-model process-noise multiplier
+	// (default 10).
+	DegradedWalkScale float64
 }
 
 // DefaultConfig returns a ready-to-run configuration for the given
@@ -168,6 +186,18 @@ type Result struct {
 	// HeldUpdates counts measurement updates processed from
 	// sample-and-hold replays with inflated noise.
 	HeldUpdates int
+	// RHatSigma is the final per-axis adaptive measurement-noise
+	// estimate σ̂ (the configured σ on both axes when AdaptiveR is off).
+	RHatSigma [2]float64
+	// MeanNIS is the mean normalised innovation squared over accepted
+	// updates — ≈2 for a consistent filter.
+	MeanNIS float64
+	// Reconfigs counts filter hot-swaps applied by ReconfigureOnFault.
+	Reconfigs int
+	// IMUBiasEst / IMUScaleEst are the self-calibration estimates
+	// (zero vectors unless EstimateIMUBias / EstimateIMUScale are on).
+	IMUBiasEst  geom.Vec3
+	IMUScaleEst geom.Vec3
 	// DMUStream / ACCStream report per-link degradation telemetry:
 	// channel fault counters plus the supervisor's classification of
 	// every sample epoch. Together with Gated/DropoutEpochs/HeldUpdates
@@ -274,13 +304,27 @@ func Run(cfg Config) (*Result, error) {
 	var heldAx, heldAy float64
 	heldFbValid, heldACCValid := false, false
 
+	// Hot-swap state for ReconfigureOnFault: the nominal filter config
+	// to restore, and whether the degraded model is currently active.
+	walkScale := cfg.DegradedWalkScale
+	if walkScale <= 0 {
+		walkScale = 10
+	}
+	nominalFilter := cfg.Filter
+	inDegraded := false
+
 	bumped := false
+	drifted := false
 	for i := 0; i < n; i++ {
 		t := float64(i) * dt
 		if cfg.BumpAt > 0 && !bumped && t >= cfg.BumpAt {
 			acc.SetMisalignment(cfg.BumpMisalignment)
 			res.True = cfg.BumpMisalignment
 			bumped = true
+		}
+		if cfg.NoiseDriftAt > 0 && cfg.NoiseDriftFactor > 0 && !drifted && t >= cfg.NoiseDriftAt {
+			acc.ScaleNoise(cfg.NoiseDriftFactor)
+			drifted = true
 		}
 		st := cfg.Profile.At(t)
 		var vib [3]float64
@@ -302,6 +346,27 @@ func Run(cfg Config) (*Result, error) {
 			}
 			dmuSt := supDMU.Observe(dmuOK)
 			accSt := supACC.Observe(accOK)
+			if cfg.ReconfigureOnFault {
+				// Supervisor-driven hot swap: a stream going Stale
+				// switches in the fast-wander degraded process model;
+				// both streams back to Fresh restores the nominal one.
+				// Hysteresis is inherent — Held epochs change nothing.
+				if !inDegraded && (dmuSt == fault.Stale || accSt == fault.Stale) {
+					degraded, derr := est.ScaleProcessNoise(walkScale)
+					if derr == nil {
+						derr = est.Reconfigure(degraded)
+					}
+					if derr != nil {
+						return nil, fmt.Errorf("system: degraded reconfigure: %w", derr)
+					}
+					inDegraded = true
+				} else if inDegraded && dmuSt == fault.Fresh && accSt == fault.Fresh {
+					if derr := est.Reconfigure(nominalFilter); derr != nil {
+						return nil, fmt.Errorf("system: nominal reconfigure: %w", derr)
+					}
+					inDegraded = false
+				}
+			}
 			if dmuOK {
 				fb = lfb
 				heldFb, heldFbValid = lfb, true
@@ -398,6 +463,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Steps = est.Steps()
 	res.FinalMeasNoise = est.MeasNoise()
+	res.RHatSigma[0], res.RHatSigma[1] = est.RHat()
+	res.MeanNIS = est.MeanNIS()
+	res.Reconfigs = est.Reconfigs()
+	res.IMUBiasEst = est.IMUBias()
+	res.IMUScaleEst = est.IMUScales()
 	res.Gated = est.Gated()
 	res.DropoutEpochs = est.Dropouts()
 	res.HeldUpdates = est.HeldUpdates()
