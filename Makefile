@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz bench bench-json vidpipe-smoke experiments demo clean
+.PHONY: all build vet test race cover fuzz bench bench-json sabre-bench vidpipe-smoke experiments demo clean
 
 # Statement-coverage floor for the estimation-critical packages (the
 # fusion core, the fault supervisor, the Kalman engine). All three sit
@@ -46,14 +46,15 @@ cover:
 		} \
 		END { if (bad != "") { print "coverage below " floor "%:" bad; exit 1 } }'
 
-# Short fuzz passes: the ADXL202 duty-cycle codec round-trip, the Sabre
-# engine parity oracle, the two link-layer packet parsers (the surfaces
-# a faulted wire feeds arbitrary bytes into), and the adaptive
-# measurement-noise estimator's clamp/skip safety contract under
-# arbitrary outlier, NaN and degraded-quality streams.
+# Short fuzz passes: the ADXL202 duty-cycle codec round-trip, the
+# three-way Sabre engine parity oracle (a full minute: it differences
+# the reference, fast and compiled engines), the two link-layer packet
+# parsers (the surfaces a faulted wire feeds arbitrary bytes into), and
+# the adaptive measurement-noise estimator's clamp/skip safety contract
+# under arbitrary outlier, NaN and degraded-quality streams.
 fuzz:
 	$(GO) test -fuzz=FuzzDutyCycleCodec -fuzztime=30s ./internal/imu/
-	$(GO) test -run '^$$' -fuzz=FuzzEngineParity -fuzztime=30s ./internal/sabre/
+	$(GO) test -run '^$$' -fuzz=FuzzEngineParity -fuzztime=60s ./internal/sabre/
 	$(GO) test -run '^$$' -fuzz=FuzzBridgeParser -fuzztime=30s ./internal/link/
 	$(GO) test -run '^$$' -fuzz=FuzzACCParser -fuzztime=30s ./internal/link/
 	$(GO) test -run '^$$' -fuzz=FuzzAdaptiveR -fuzztime=30s ./internal/core/
@@ -77,6 +78,15 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/fault/ >> bench/latest.txt
 	$(GO) test -run '^$$' -bench BenchmarkAdaptive -benchmem -count 3 ./internal/core/ >> bench/latest.txt
 	$(GO) run ./cmd/benchreport -emit bench -in bench/latest.txt
+
+# Sabre engine comparison only: the three execution engines on the
+# softfloat Kalman and fixed-point boresight workloads (ns/emulated
+# instr, allocation contract) plus the one-time translation and
+# predecode costs. Quick iteration loop for interpreter work; the full
+# archive/regression pass is bench-json.
+sabre-bench:
+	$(GO) test -run '^$$' -bench 'SabreSoftFloatKalman|SabreFxBoresight' -benchmem -bench-dur 10 .
+	$(GO) test -run '^$$' -bench 'Compile|Predecode' -benchmem ./internal/sabre/
 
 # End-to-end video-path smoke run: render, distort, correct on the
 # clocked pipeline, and checksum the corrected frame against the

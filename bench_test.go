@@ -420,6 +420,14 @@ func BenchmarkSabreSoftFloatKalmanRef(b *testing.B) { benchmarkSabreKalman(b, sa
 // by both benchmarks must be identical; only ns/op may differ.
 func BenchmarkSabreSoftFloatKalmanFast(b *testing.B) { benchmarkSabreKalman(b, sabre.EngineFast) }
 
+// BenchmarkSabreSoftFloatKalmanCompiled runs the workload on the
+// basic-block translation engine (region kernels + generic blocks).
+// The warm-up run pays the one-time lazy translation; the measured
+// steady state must be allocation-free.
+func BenchmarkSabreSoftFloatKalmanCompiled(b *testing.B) {
+	benchmarkSabreKalman(b, sabre.EngineCompiled)
+}
+
 // benchmarkSabreFxBoresight runs the integer-only S8.24 boresight
 // fusion filter program on a reusable core with the given engine.
 func benchmarkSabreFxBoresight(b *testing.B, eng sabre.Engine) {
@@ -465,3 +473,9 @@ func BenchmarkSabreFxBoresightRef(b *testing.B) { benchmarkSabreFxBoresight(b, s
 // BenchmarkSabreFxBoresightFast runs the fixed-point fusion filter on
 // the predecoded+fused engine.
 func BenchmarkSabreFxBoresightFast(b *testing.B) { benchmarkSabreFxBoresight(b, sabre.EngineFast) }
+
+// BenchmarkSabreFxBoresightCompiled runs the fixed-point fusion filter
+// on the basic-block translation engine.
+func BenchmarkSabreFxBoresightCompiled(b *testing.B) {
+	benchmarkSabreFxBoresight(b, sabre.EngineCompiled)
+}

@@ -88,6 +88,18 @@ type CPU struct {
 	maxRun  uint64
 	runCost []uint32
 
+	// blocks is the compiled engine's per-pc translation table
+	// (runcompiled.go), invalidated by LoadProgram in the same motion
+	// as the decoded array so the two caches can never describe
+	// different programs. The backing array is reused across reloads.
+	blocks      []compiledBlock
+	blocksValid bool
+	cstats      *CompiledStats
+	// cstate is RunCompiled's dispatch state; it lives on the CPU
+	// because block closures take its address, which would force a
+	// heap allocation per run if it were a local.
+	cstate cst
+
 	// periphs is a dense dispatch table indexed by
 	// (base − DataBytes) / periphSpan, grown by Map. The hot bus path
 	// pays one bounds check and a nil test per peripheral access
@@ -127,7 +139,11 @@ func (c *CPU) LoadProgram(words []uint32) error {
 		c.Prog[i] = 0
 	}
 	copy(c.Prog, words)
+	// Both execution caches go stale in the same motion: the decoded
+	// (and fused) record array and the compiled-block table describe
+	// the outgoing program and must never survive it independently.
 	c.decValid = false
+	c.blocksValid = false
 	c.Reset()
 	return nil
 }
@@ -339,8 +355,11 @@ func b2u(b bool) uint32 {
 // cycles consumed. Reaching the limit returns ErrCycleLimit. The
 // execution engine is selected by c.Engine (fast by default).
 func (c *CPU) Run(maxCycles uint64) (uint64, error) {
-	if c.Engine == EngineRef {
+	switch c.Engine {
+	case EngineRef:
 		return c.RunRef(maxCycles)
+	case EngineCompiled:
+		return c.RunCompiled(maxCycles)
 	}
 	return c.RunFast(maxCycles)
 }

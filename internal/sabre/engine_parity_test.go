@@ -12,11 +12,15 @@ import (
 	"boresight/internal/geom"
 )
 
-// The fast engine's contract is bit-identical architectural behaviour
-// against the reference Step() loop: registers, data memory, peripheral
-// side effects in order, cycle and retired-instruction counts, PC, and
-// fault/halt outcomes. These tests run the same program on both engines
-// and compare everything observable.
+// The fast and compiled engines' contract is bit-identical
+// architectural behaviour against the reference Step() loop: registers,
+// data memory, peripheral side effects in order, cycle and
+// retired-instruction counts, PC, and fault/halt outcomes. These tests
+// run the same program on all three engines and compare everything
+// observable.
+
+// nonRefEngines are the engines held to parity with EngineRef.
+var nonRefEngines = []Engine{EngineFast, EngineCompiled}
 
 // periphEvent is one bus access observed by the trace peripheral.
 type periphEvent struct {
@@ -91,6 +95,8 @@ func runOneEngine(eng Engine, words []uint32, maxCycles uint64, setup func(*CPU)
 }
 
 // diffOutcomes returns a description of the first mismatch, or "".
+// "fast" in the messages reads as "the engine under test" — the same
+// comparison serves the fast and the compiled engine.
 func diffOutcomes(ref, fast *engineOutcome) string {
 	switch {
 	case ref.errStr != fast.errStr:
@@ -126,19 +132,22 @@ func diffOutcomes(ref, fast *engineOutcome) string {
 	return ""
 }
 
-// requireParity runs words on both engines and fails on any divergence.
+// requireParity runs words on all three engines and fails on any
+// divergence from the reference.
 func requireParity(t *testing.T, words []uint32, maxCycles uint64, setup func(*CPU)) *engineOutcome {
 	t.Helper()
 	ref, err := runOneEngine(EngineRef, words, maxCycles, setup)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := runOneEngine(EngineFast, words, maxCycles, setup)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if d := diffOutcomes(ref, fast); d != "" {
-		t.Fatalf("engine divergence: %s", d)
+	for _, eng := range nonRefEngines {
+		got, err := runOneEngine(eng, words, maxCycles, setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffOutcomes(ref, got); d != "" {
+			t.Fatalf("engine %v divergence: %s", eng, d)
+		}
 	}
 	return ref
 }
@@ -246,12 +255,14 @@ func TestEngineParityCycleLimit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast, err := runOneEngine(EngineFast, prog.Words, budget, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if d := diffOutcomes(ref, fast); d != "" {
-			t.Fatalf("budget %d: %s", budget, d)
+		for _, eng := range nonRefEngines {
+			got, err := runOneEngine(eng, prog.Words, budget, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := diffOutcomes(ref, got); d != "" {
+				t.Fatalf("budget %d, engine %v: %s", budget, eng, d)
+			}
 		}
 	}
 }
@@ -365,12 +376,14 @@ func TestEngineParityKalmanBudgetSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast, err := runOneEngine(EngineFast, prog.Words, budget, setup)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if d := diffOutcomes(ref, fast); d != "" {
-			t.Fatalf("budget %d: %s", budget, d)
+		for _, eng := range nonRefEngines {
+			got, err := runOneEngine(eng, prog.Words, budget, setup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := diffOutcomes(ref, got); d != "" {
+				t.Fatalf("budget %d, engine %v: %s", budget, eng, d)
+			}
 		}
 	}
 	for budget := uint64(0); budget < full.cycles; budget += 211 {
@@ -401,21 +414,23 @@ func TestEngineParitySoftFloatKalman(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := RunKalmanEngine(EngineFast, 1e-4, 0.04, 1, 0, z)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ref.TotalCycles != fast.TotalCycles || ref.Instructions != fast.Instructions {
-		t.Fatalf("cycle counts: ref %d/%d, fast %d/%d",
-			ref.TotalCycles, ref.Instructions, fast.TotalCycles, fast.Instructions)
-	}
-	for i := range ref.Estimates {
-		if math.Float32bits(ref.Estimates[i]) != math.Float32bits(fast.Estimates[i]) {
-			t.Fatalf("estimate %d: ref %v, fast %v", i, ref.Estimates[i], fast.Estimates[i])
+	for _, eng := range nonRefEngines {
+		fast, err := RunKalmanEngine(eng, 1e-4, 0.04, 1, 0, z)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	if math.Float32bits(ref.FinalP) != math.Float32bits(fast.FinalP) {
-		t.Fatalf("final P: ref %v, fast %v", ref.FinalP, fast.FinalP)
+		if ref.TotalCycles != fast.TotalCycles || ref.Instructions != fast.Instructions {
+			t.Fatalf("cycle counts: ref %d/%d, %v %d/%d",
+				ref.TotalCycles, ref.Instructions, eng, fast.TotalCycles, fast.Instructions)
+		}
+		for i := range ref.Estimates {
+			if math.Float32bits(ref.Estimates[i]) != math.Float32bits(fast.Estimates[i]) {
+				t.Fatalf("estimate %d: ref %v, %v %v", i, ref.Estimates[i], eng, fast.Estimates[i])
+			}
+		}
+		if math.Float32bits(ref.FinalP) != math.Float32bits(fast.FinalP) {
+			t.Fatalf("final P: ref %v, %v %v", ref.FinalP, eng, fast.FinalP)
+		}
 	}
 }
 
@@ -432,16 +447,18 @@ func TestEngineParityFxBoresight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := RunFxBoresightEngine(EngineFast, cfg, 0.02, inputs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ref.TotalCycles != fast.TotalCycles {
-		t.Fatalf("cycles: ref %d, fast %d", ref.TotalCycles, fast.TotalCycles)
-	}
-	for i := range ref.States {
-		if ref.States[i] != fast.States[i] {
-			t.Fatalf("state %d: ref %v, fast %v", i, ref.States[i], fast.States[i])
+	for _, eng := range nonRefEngines {
+		fast, err := RunFxBoresightEngine(eng, cfg, 0.02, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.TotalCycles != fast.TotalCycles {
+			t.Fatalf("cycles: ref %d, %v %d", ref.TotalCycles, eng, fast.TotalCycles)
+		}
+		for i := range ref.States {
+			if ref.States[i] != fast.States[i] {
+				t.Fatalf("state %d: ref %v, %v %v", i, ref.States[i], eng, fast.States[i])
+			}
 		}
 	}
 }
@@ -449,8 +466,8 @@ func TestEngineParityFxBoresight(t *testing.T) {
 // TestEngineParityControl runs the never-halting UART parsing program
 // to its cycle budget on both engines with identical serial input.
 func TestEngineParityControl(t *testing.T) {
-	outs := make([]*engineOutcome, 2)
-	for i, eng := range []Engine{EngineRef, EngineFast} {
+	outs := make([]*engineOutcome, 3)
+	for i, eng := range []Engine{EngineRef, EngineFast, EngineCompiled} {
 		c, dmu, acc, _, leds, err := ControlCPU()
 		if err != nil {
 			t.Fatal(err)
@@ -482,8 +499,10 @@ func TestEngineParityControl(t *testing.T) {
 			trace: []periphEvent{{false, 0, leds.Value}},
 		}
 	}
-	if d := diffOutcomes(outs[0], outs[1]); d != "" {
-		t.Fatalf("control program divergence: %s", d)
+	for i := 1; i < len(outs); i++ {
+		if d := diffOutcomes(outs[0], outs[i]); d != "" {
+			t.Fatalf("control program divergence (outcome %d): %s", i, d)
+		}
 	}
 }
 
@@ -519,7 +538,7 @@ func fuzzWords(data []byte) []uint32 {
 }
 
 // FuzzEngineParity feeds arbitrary programs and cycle budgets through
-// both engines and requires bit-identical outcomes.
+// all three engines and requires bit-identical outcomes.
 func FuzzEngineParity(f *testing.F) {
 	kal, err := KalmanProgram()
 	if err != nil {
@@ -545,12 +564,14 @@ func FuzzEngineParity(f *testing.F) {
 		if err != nil {
 			t.Skip() // program too large to load etc.
 		}
-		fast, err := runOneEngine(EngineFast, words, maxCycles, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if d := diffOutcomes(ref, fast); d != "" {
-			t.Fatalf("engine divergence: %s", d)
+		for _, eng := range nonRefEngines {
+			got, err := runOneEngine(eng, words, maxCycles, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := diffOutcomes(ref, got); d != "" {
+				t.Fatalf("engine %v divergence: %s", eng, d)
+			}
 		}
 	})
 }
@@ -575,12 +596,14 @@ func TestEngineParityRandomPrograms(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast, err := runOneEngine(EngineFast, words, maxCycles, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if d := diffOutcomes(ref, fast); d != "" {
-			t.Fatalf("trial %d: engine divergence: %s", trial, d)
+		for _, eng := range nonRefEngines {
+			got, err := runOneEngine(eng, words, maxCycles, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := diffOutcomes(ref, got); d != "" {
+				t.Fatalf("trial %d: engine %v divergence: %s", trial, eng, d)
+			}
 		}
 	}
 }

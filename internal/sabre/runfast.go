@@ -36,7 +36,7 @@ import (
 // single-step loop, which applies the per-instruction limit check
 // verbatim.
 
-// Engine selects between the CPU's two execution engines.
+// Engine selects between the CPU's three execution engines.
 type Engine uint8
 
 const (
@@ -46,25 +46,35 @@ const (
 	// EngineRef is the reference fetch-decode-execute interpreter,
 	// one Step() per instruction.
 	EngineRef
+	// EngineCompiled is the basic-block translation engine: blocks are
+	// lazily compiled to Go closures and dispatched through a per-pc
+	// table (runcompiled.go).
+	EngineCompiled
 )
 
 // String returns the CLI name of the engine.
 func (e Engine) String() string {
-	if e == EngineRef {
+	switch e {
+	case EngineRef:
 		return "ref"
+	case EngineCompiled:
+		return "compiled"
 	}
 	return "fast"
 }
 
-// ParseEngine converts a CLI flag value ("ref" or "fast") to an Engine.
+// ParseEngine converts a CLI flag value ("ref", "fast" or "compiled")
+// to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "ref":
 		return EngineRef, nil
 	case "fast":
 		return EngineFast, nil
+	case "compiled":
+		return EngineCompiled, nil
 	}
-	return EngineFast, fmt.Errorf("sabre: unknown engine %q (want ref or fast)", s)
+	return EngineFast, fmt.Errorf("sabre: unknown engine %q (want ref, fast or compiled)", s)
 }
 
 // flush writes the loop-local architectural counters back to the CPU
