@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fuzz bench bench-json sabre-bench vidpipe-smoke experiments demo clean
+.PHONY: all build vet test race cover fuzz bench bench-json sabre-bench vidpipe-smoke fleet-smoke experiments demo clean
 
 # Statement-coverage floor for the estimation-critical packages (the
 # fusion core, the fault supervisor, the Kalman engine). All three sit
@@ -58,6 +58,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzBridgeParser -fuzztime=30s ./internal/link/
 	$(GO) test -run '^$$' -fuzz=FuzzACCParser -fuzztime=30s ./internal/link/
 	$(GO) test -run '^$$' -fuzz=FuzzAdaptiveR -fuzztime=30s ./internal/core/
+	$(GO) test -run '^$$' -fuzz=FuzzFrameParser -fuzztime=30s ./internal/fleet/
 
 # Every paper table/figure and ablation as a benchmark, with logs.
 bench:
@@ -77,6 +78,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sabre/ >> bench/latest.txt
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/fault/ >> bench/latest.txt
 	$(GO) test -run '^$$' -bench BenchmarkAdaptive -benchmem -count 3 ./internal/core/ >> bench/latest.txt
+	$(GO) test -run '^$$' -bench BenchmarkFleet -benchmem -count 3 ./internal/fleet/ >> bench/latest.txt
 	$(GO) run ./cmd/benchreport -emit bench -in bench/latest.txt
 
 # Sabre engine comparison only: the three execution engines on the
@@ -93,6 +95,13 @@ sabre-bench:
 # pre-rewrite golden output.
 vidpipe-smoke:
 	$(GO) run ./cmd/vidpipe -out $${TMPDIR:-/tmp} -check $(VIDPIPE_GOLDEN)
+
+# Fleet serving smoke: the replay determinism contract (byte-identical
+# results at workers 1/2/8 and vs direct system.Run), then a quick
+# loopback load run over the binary protocol.
+fleet-smoke:
+	$(GO) run ./cmd/fleetload -replay-check
+	$(GO) run ./cmd/fleetload -scenarios 2000 -batch 500 -queue 4096
 
 # Regenerate the full evaluation report (Table 1, Figs 8-9, Monte
 # Carlo, ablations) at the paper's 300 s duration.

@@ -1,0 +1,92 @@
+// Command fleetd is the fleet simulation server: it accepts batches of
+// scenario configurations over HTTP/JSON (operability) and a compact
+// length-prefixed binary protocol (throughput), shards them across a
+// deterministic worker pool with bounded-queue admission, and streams
+// back telemetry and per-scenario results.
+//
+// Usage:
+//
+//	fleetd [-http :7600] [-bin :7601] [-workers 0] [-queue 131072]
+//
+// SIGINT/SIGTERM trigger a graceful drain: listeners close, in-flight
+// scenarios complete, then the process exits with the final counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"boresight/internal/fleet"
+)
+
+func main() {
+	httpAddr := flag.String("http", ":7600", "HTTP/JSON listen address (empty disables)")
+	binAddr := flag.String("bin", ":7601", "binary protocol listen address (empty disables)")
+	workers := flag.Int("workers", 0, "worker count (0 = one per CPU)")
+	queue := flag.Int("queue", 1<<17, "admission queue depth (max concurrently admitted scenarios)")
+	flag.Parse()
+
+	srv := fleet.NewServer(*workers, *queue)
+	st := srv.Stats()
+	log.Printf("fleetd: %d workers, queue depth %d", st.Workers, st.Depth)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
+		go func() {
+			log.Printf("fleetd: HTTP/JSON on %s", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("fleetd: http: %v", err)
+			}
+		}()
+	}
+
+	var binLn net.Listener
+	binDone := make(chan struct{})
+	if *binAddr != "" {
+		var err error
+		binLn, err = net.Listen("tcp", *binAddr)
+		if err != nil {
+			log.Fatalf("fleetd: bin listen: %v", err)
+		}
+		go func() {
+			defer close(binDone)
+			log.Printf("fleetd: binary protocol on %s", *binAddr)
+			if err := srv.ServeBinary(binLn); err != nil {
+				log.Printf("fleetd: bin: %v", err)
+			}
+		}()
+	} else {
+		close(binDone)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("fleetd: %v: draining", s)
+
+	// Shutdown order matters: stop admitting (close listeners), then
+	// drain the pool, so every admitted scenario still completes.
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		httpSrv.Shutdown(ctx)
+		cancel()
+	}
+	if binLn != nil {
+		binLn.Close()
+	}
+	<-binDone
+	srv.Close()
+
+	st = srv.Stats()
+	fmt.Printf("fleetd: drained. admitted=%d completed=%d shed=%d failed=%d peak_inflight=%d\n",
+		st.Admitted, st.Completed, st.Shed, st.Failed, st.PeakInflight)
+}

@@ -1,0 +1,295 @@
+// Command fleetload is the load generator for fleetd: it drives the
+// binary serving protocol with batches of scenarios and reports
+// scenarios/sec, p50/p99 batch latency, shed counts and the server's
+// peak admitted concurrency.
+//
+// With -addr it targets a running fleetd; without it, it starts an
+// in-process server on a loopback socket and drives the identical wire
+// path, which is how the 100k-concurrency smoke runs work on one box:
+//
+//	fleetload -scenarios 110000 -batch 110000 -queue 131072
+//
+// -replay-check instead verifies the serving determinism contract:
+// the same tenant-seeded specs served at several worker counts must
+// produce byte-identical result frames, all equal to direct
+// system.Run executions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boresight/internal/fleet"
+	"boresight/internal/system"
+)
+
+func main() {
+	addr := flag.String("addr", "", "fleetd binary address (empty = in-process loopback server)")
+	scenarios := flag.Int("scenarios", 100_000, "total scenarios to run")
+	batch := flag.Int("batch", 4096, "scenarios per batch")
+	conns := flag.Int("conns", 2, "concurrent client connections")
+	tenants := flag.Int("tenants", 16, "tenant IDs to rotate through")
+	kindName := flag.String("kind", "static", "scenario kind: static|dynamic|untuned")
+	dur := flag.Float64("dur", 0.2, "per-scenario simulated duration (s)")
+	calibrate := flag.Bool("calibrate", false, "run the 30 s pre-run calibration per scenario")
+	workers := flag.Int("workers", 0, "in-process server workers (0 = CPUs)")
+	queue := flag.Int("queue", 1<<17, "in-process server queue depth")
+	replay := flag.Bool("replay-check", false, "verify byte-identical replay across worker counts and exit")
+	flag.Parse()
+
+	kind, err := fleet.ParseKind(*kindName)
+	if err != nil {
+		log.Fatalf("fleetload: %v", err)
+	}
+	mkSpec := func(i int) fleet.ScenarioSpec {
+		return fleet.ScenarioSpec{
+			Kind:        kind,
+			Tenant:      uint32(i % *tenants),
+			Seed:        int64(i),
+			Dur:         *dur,
+			MisDeg:      [3]float64{2, -3, 1},
+			NoCalibrate: !*calibrate,
+		}
+	}
+
+	if *replay {
+		if replayCheck(mkSpec, *queue) {
+			fmt.Println("replay-check: PASS")
+			return
+		}
+		os.Exit(1)
+	}
+
+	target := *addr
+	var srv *fleet.Server
+	if target == "" {
+		srv = fleet.NewServer(*workers, *queue)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("fleetload: %v", err)
+		}
+		go srv.ServeBinary(ln)
+		defer func() { ln.Close(); srv.Close() }()
+		target = ln.Addr().String()
+		st := srv.Stats()
+		log.Printf("fleetload: in-process server on %s (%d workers, queue %d)", target, st.Workers, st.Depth)
+	}
+
+	var (
+		next      atomic.Int64 // next scenario index to claim
+		completed atomic.Int64
+		shedTotal atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		peak      uint64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := dial(target)
+			if err != nil {
+				log.Fatalf("fleetload: %v", err)
+			}
+			defer cl.conn.Close()
+			for {
+				lo := next.Add(int64(*batch)) - int64(*batch)
+				if lo >= int64(*scenarios) {
+					return
+				}
+				hi := lo + int64(*batch)
+				if hi > int64(*scenarios) {
+					hi = int64(*scenarios)
+				}
+				t0 := time.Now()
+				results, shed, tel, err := cl.runBatch(mkSpec, int(lo), int(hi))
+				if err != nil {
+					log.Fatalf("fleetload: batch [%d,%d): %v", lo, hi, err)
+				}
+				lat := time.Since(t0)
+				completed.Add(int64(results))
+				shedTotal.Add(int64(shed))
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if tel.PeakInflight > peak {
+					peak = tel.PeakInflight
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	done := completed.Load()
+	fmt.Printf("fleetload: %d scenarios in %.2fs = %.0f scenarios/sec\n",
+		done, elapsed.Seconds(), float64(done)/elapsed.Seconds())
+	fmt.Printf("fleetload: batches=%d batch_p50=%s batch_p99=%s shed=%d peak_concurrent=%d\n",
+		len(latencies), pct(0.50), pct(0.99), shedTotal.Load(), peak)
+	if shedTotal.Load() > 0 {
+		fmt.Println("fleetload: overload shed occurred (raise -queue or lower -batch for lossless runs)")
+	}
+}
+
+// client drives one binary-protocol connection.
+type client struct {
+	conn   net.Conn
+	parser fleet.FrameParser
+	rbuf   []byte
+	req    []byte
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &client{conn: conn, rbuf: make([]byte, 64<<10)}
+	// Handshake, telemetry only at batch end (interval > batch size).
+	if _, err := conn.Write(fleet.AppendHello(nil, 0, 65535, 0)); err != nil {
+		return nil, err
+	}
+	typ, payload, err := cl.readFrame()
+	if err != nil || typ != fleet.FrameHello {
+		return nil, fmt.Errorf("handshake failed: typ=%#x err=%v", typ, err)
+	}
+	if v, _, _, _, err := fleet.DecodeHello(payload); err != nil || v != fleet.WireVersion {
+		return nil, fmt.Errorf("handshake version mismatch: %v", err)
+	}
+	return cl, nil
+}
+
+func (c *client) readFrame() (byte, []byte, error) {
+	for {
+		if typ, payload, ok := c.parser.Next(); ok {
+			return typ, payload, nil
+		}
+		n, err := c.conn.Read(c.rbuf)
+		if n > 0 {
+			c.parser.Feed(c.rbuf[:n])
+			continue
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// runBatch sends scenarios [lo,hi) and consumes the reply, returning
+// the OK-result count, shed count and the last telemetry snapshot.
+func (c *client) runBatch(mk func(int) fleet.ScenarioSpec, lo, hi int) (results int, shed uint32, tel fleet.Telemetry, err error) {
+	c.req = c.req[:0]
+	for i := lo; i < hi; i++ {
+		c.req = fleet.AppendScenario(c.req, mk(i))
+	}
+	c.req = fleet.AppendBatchEnd(c.req, 0, 0)
+	if _, err = c.conn.Write(c.req); err != nil {
+		return 0, 0, tel, err
+	}
+	for {
+		typ, payload, ferr := c.readFrame()
+		if ferr != nil {
+			return results, shed, tel, ferr
+		}
+		switch typ {
+		case fleet.FrameResult:
+			w, derr := fleet.DecodeResult(payload)
+			if derr != nil {
+				return results, shed, tel, derr
+			}
+			switch w.Status {
+			case fleet.StatusOK:
+				results++
+			case fleet.StatusError:
+				return results, shed, tel, fmt.Errorf("scenario %d failed server-side", w.Index)
+			}
+		case fleet.FrameTelemetry:
+			if t, derr := fleet.DecodeTelemetry(payload); derr == nil {
+				tel = t
+			}
+		case fleet.FrameBatchEnd:
+			_, shed, err = fleet.DecodeBatchEnd(payload)
+			return results, shed, tel, err
+		}
+	}
+}
+
+// replayCheck serves the same specs at worker counts 1, 2 and 8 and
+// compares the result frames byte for byte, then against direct
+// system.Run executions of the expanded configs.
+func replayCheck(mk func(int) fleet.ScenarioSpec, queue int) bool {
+	const n = 24
+	encode := func(workers int) []byte {
+		s := fleet.NewServer(workers, queue)
+		defer s.Close()
+		b := s.NewBatch()
+		defer b.Release()
+		for i := 0; i < n; i++ {
+			b.Add(mk(i))
+		}
+		b.Submit(true)
+		b.Wait()
+		var out []byte
+		for i := 0; i < n; i++ {
+			if err := b.Err(i); err != nil {
+				log.Fatalf("replay-check: scenario %d: %v", i, err)
+			}
+			out = fleet.AppendResult(out, uint32(i), b.Status(i), b.Results()[i])
+		}
+		return out
+	}
+	ref := encode(1)
+	for _, w := range []int{2, 8} {
+		if got := encode(w); !equalBytes(got, ref) {
+			log.Printf("replay-check: FAIL: workers=%d differs from workers=1", w)
+			return false
+		}
+	}
+	var direct []byte
+	for i := 0; i < n; i++ {
+		cfg, err := mk(i).Config()
+		if err != nil {
+			log.Fatalf("replay-check: %v", err)
+		}
+		res, err := system.Run(cfg)
+		if err != nil {
+			log.Fatalf("replay-check: %v", err)
+		}
+		direct = fleet.AppendResult(direct, uint32(i), fleet.StatusOK, res)
+	}
+	if !equalBytes(ref, direct) {
+		log.Print("replay-check: FAIL: served results differ from direct system.Run")
+		return false
+	}
+	log.Printf("replay-check: %d scenarios byte-identical at workers 1/2/8 and vs direct runs", n)
+	return true
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -164,13 +164,13 @@ func DefaultConfig() Config {
 		InitIMUScaleSigma: 0.01,
 		IMUBiasWalk:       1e-6,
 		IMUScaleWalk:      1e-7,
-		AngleWalk:      1e-6,
-		BiasWalk:       1e-6,
-		ScaleWalk:      1e-7,
-		MeasNoise:      0.01,
-		AdaptWindow:    200,
-		GateSigma:      6,
-		HeldInflation:  1,
+		AngleWalk:         1e-6,
+		BiasWalk:          1e-6,
+		ScaleWalk:         1e-7,
+		MeasNoise:         0.01,
+		AdaptWindow:       200,
+		GateSigma:         6,
+		HeldInflation:     1,
 	}
 }
 
@@ -367,10 +367,20 @@ func validateConfig(cfg Config) error {
 	return nil
 }
 
-// priorDiag returns the configured prior variance of every state under
-// the given layout.
-func priorDiag(cfg Config, l layout) []float64 {
-	diag := make([]float64, l.n)
+// Validate reports whether cfg describes a runnable filter. It is the
+// exported form of the check New enforces by panic: serving layers
+// (fleet admission, RunMany) validate configurations from the outside
+// world here and reject bad ones per scenario instead of letting a
+// panic take down the worker.
+func Validate(cfg Config) error { return validateConfig(cfg) }
+
+// priorDiagInto fills diag (length l.n) with the configured prior
+// variance of every state under the given layout. Allocation-free so
+// Reset can reuse per-estimator scratch for it.
+func priorDiagInto(diag []float64, cfg Config, l layout) {
+	for i := range diag {
+		diag[i] = 0
+	}
 	diag[ixA0] = cfg.InitAngleSigma * cfg.InitAngleSigma
 	diag[ixA1] = diag[ixA0]
 	diag[ixA2] = diag[ixA0]
@@ -397,7 +407,6 @@ func priorDiag(cfg Config, l layout) []float64 {
 			diag[l.iis+k] = cfg.InitIMUScaleSigma * cfg.InitIMUScaleSigma
 		}
 	}
-	return diag
 }
 
 // applyLayout installs a layout's indices and rebuilds the per-step
@@ -416,8 +425,16 @@ func (e *Estimator) applyLayout(l layout) {
 func (e *Estimator) initAdaptive(cfg Config) {
 	e.ad = cfg.AdaptiveR.resolved(cfg.MeasNoise)
 	if e.ad.Enabled {
-		e.adRing[0] = make([]float64, e.ad.Window)
-		e.adRing[1] = make([]float64, e.ad.Window)
+		// Reuse the rings across Reset when the window is unchanged —
+		// the steady state of a pooled serving runner.
+		if len(e.adRing[0]) != e.ad.Window {
+			e.adRing[0] = make([]float64, e.ad.Window)
+			e.adRing[1] = make([]float64, e.ad.Window)
+		} else {
+			for i := range e.adRing[0] {
+				e.adRing[0][i], e.adRing[1][i] = 0, 0
+			}
+		}
 	} else {
 		e.adRing[0], e.adRing[1] = nil, nil
 	}
@@ -431,25 +448,80 @@ func (e *Estimator) initAdaptive(cfg Config) {
 // misalignment estimate is zero (sensor assumed aligned) with the
 // configured priors.
 func New(cfg Config) *Estimator {
-	if err := validateConfig(cfg); err != nil {
+	e := &Estimator{}
+	if err := e.Reset(cfg); err != nil {
 		panic(err.Error())
 	}
-	e := &Estimator{cfg: cfg, att: geom.IdentityQuat()}
+	return e
+}
+
+// Reset re-initialises the estimator in place to exactly the state
+// New(cfg) produces, reusing every allocation whose dimension still
+// fits. A pooled serving runner resets its estimator once per scenario;
+// when consecutive scenarios share the same state layout and adaptive
+// window — the steady state of a fleet shard — Reset touches the heap
+// not at all, which is what extends the per-epoch zero-allocation
+// contract to whole runs. Unlike New it reports an invalid
+// configuration as an error instead of panicking: configurations
+// arriving over the wire must not kill a worker.
+func (e *Estimator) Reset(cfg Config) error {
+	if err := validateConfig(cfg); err != nil {
+		return err
+	}
 	l := layoutFor(cfg)
-	e.applyLayout(l)
-	e.kf = kalman.New(l.n)
-	e.kf.SetP(mat.Diag(priorDiag(cfg, l)...))
+	e.cfg = cfg
+	e.att = geom.IdentityQuat()
+	if l.n != e.n || e.qd == nil {
+		e.applyLayout(l)
+		if e.kf == nil {
+			e.kf = kalman.New(l.n)
+		} else {
+			e.kf.Resize(l.n)
+		}
+	} else {
+		// Same dimension, possibly different block arrangement: install
+		// the indices and scrub the layout-addressed scratch — predict
+		// and stepMeas only rewrite the positions the *current* layout
+		// owns, so entries a previous layout wrote must not survive.
+		e.ibx, e.iby, e.isx, e.isy = l.ibx, l.iby, l.isx, l.isy
+		e.ilv, e.iib, e.iis = l.ilv, l.iib, l.iis
+		e.qd.Zero()
+		e.jacH.Zero()
+	}
+	e.kf.Reset()
+	// The prior diagonal is built in the state-sized xbuf scratch; the
+	// next StateInto overwrites it before any step reads it.
+	priorDiagInto(e.xbuf, cfg, l)
+	e.kf.SetPDiag(e.xbuf)
 	e.measNoise = cfg.MeasNoise
+	e.wLP, e.fsLP, e.fbLP = geom.Vec3{}, geom.Vec3{}, geom.Vec3{}
+	e.fsLPSet = false
 	w := cfg.AdaptWindow
 	if w <= 0 {
 		w = 200
 	}
-	e.exceed = make([]bool, w)
+	if len(e.exceed) != w {
+		e.exceed = make([]bool, w)
+	} else {
+		for i := range e.exceed {
+			e.exceed[i] = false
+		}
+	}
+	e.exIdx, e.exN = 0, 0
+	e.steps, e.gated, e.gateRun = 0, 0, 0
 	e.initAdaptive(cfg)
-	e.rMat = mat.New(2, 2)
-	e.zbuf = make([]float64, 2)
-	e.hbuf = make([]float64, 2)
-	return e
+	e.nisSum, e.nisN = 0, 0
+	e.reconfigs = 0
+	e.heldRun, e.heldUpdates, e.dropouts = 0, 0, 0
+	e.exRun, e.bumps, e.bumpCooldown = 0, 0, 0
+	if e.rMat == nil {
+		e.rMat = mat.New(2, 2)
+		e.zbuf = make([]float64, 2)
+		e.hbuf = make([]float64, 2)
+	} else {
+		e.rMat.Zero()
+	}
+	return nil
 }
 
 // Dim returns the filter state dimension.
@@ -462,13 +534,10 @@ func (e *Estimator) SetInitialBias(bx, by, sigma float64) {
 	if e.ibx < 0 {
 		return
 	}
-	x := e.kf.State()
-	x[e.ibx], x[e.iby] = bx, by
-	e.kf.SetState(x)
-	p := e.kf.P()
-	p.Set(e.ibx, e.ibx, sigma*sigma)
-	p.Set(e.iby, e.iby, sigma*sigma)
-	e.kf.SetP(p)
+	e.kf.SetStateAt(e.ibx, bx)
+	e.kf.SetStateAt(e.iby, by)
+	e.kf.SetCovAt(e.ibx, e.ibx, sigma*sigma)
+	e.kf.SetCovAt(e.iby, e.iby, sigma*sigma)
 }
 
 // Step processes one synchronised measurement pair: the IMU's body-axis
@@ -804,8 +873,7 @@ func (e *Estimator) Biases() (bx, by float64) {
 	if e.ibx < 0 {
 		return 0, 0
 	}
-	x := e.kf.State()
-	return x[e.ibx], x[e.iby]
+	return e.kf.StateAt(e.ibx), e.kf.StateAt(e.iby)
 }
 
 // BiasSigmas returns the 1σ uncertainty of the bias states.
@@ -831,8 +899,7 @@ func (e *Estimator) Lever() geom.Vec3 {
 	if e.ilv < 0 {
 		return geom.Vec3{}
 	}
-	x := e.kf.State()
-	return geom.Vec3{x[e.ilv], x[e.ilv+1], x[e.ilv+2]}
+	return geom.Vec3{e.kf.StateAt(e.ilv), e.kf.StateAt(e.ilv + 1), e.kf.StateAt(e.ilv + 2)}
 }
 
 // LeverSigmas returns the 1σ uncertainty of the lever-arm states.
@@ -849,8 +916,7 @@ func (e *Estimator) IMUBias() geom.Vec3 {
 	if e.iib < 0 {
 		return geom.Vec3{}
 	}
-	x := e.kf.State()
-	return geom.Vec3{x[e.iib], x[e.iib+1], x[e.iib+2]}
+	return geom.Vec3{e.kf.StateAt(e.iib), e.kf.StateAt(e.iib + 1), e.kf.StateAt(e.iib + 2)}
 }
 
 // IMUBiasSigmas returns the 1σ uncertainty of the IMU bias states.
@@ -867,8 +933,7 @@ func (e *Estimator) IMUScales() geom.Vec3 {
 	if e.iis < 0 {
 		return geom.Vec3{}
 	}
-	x := e.kf.State()
-	return geom.Vec3{x[e.iis], x[e.iis+1], x[e.iis+2]}
+	return geom.Vec3{e.kf.StateAt(e.iis), e.kf.StateAt(e.iis + 1), e.kf.StateAt(e.iis + 2)}
 }
 
 // IMUScaleSigmas returns the 1σ uncertainty of the IMU scale states.

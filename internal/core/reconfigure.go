@@ -60,7 +60,9 @@ func (e *Estimator) Reconfigure(cfg Config) error {
 	pOld := e.kf.P()
 
 	xNew := make([]float64, nl.n)
-	pNew := mat.Diag(priorDiag(cfg, nl)...)
+	prior := make([]float64, nl.n)
+	priorDiagInto(prior, cfg, nl)
+	pNew := mat.Diag(prior...)
 	for a, oi := range oldIdx {
 		xNew[newIdx[a]] = xOld[oi]
 		for b, oj := range oldIdx {

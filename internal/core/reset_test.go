@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"boresight/internal/geom"
+)
+
+// resetTestConfigs covers the layout corners Reset must renormalise:
+// the default full state, angles-only, adaptive-R on, and two configs
+// with the SAME total dimension but DIFFERENT block arrangements
+// (bias-only vs scale-only, both n=5) — the case where stale qd/jacH
+// entries from the previous layout would corrupt the next run if Reset
+// failed to scrub them.
+func resetTestConfigs() []Config {
+	full := DefaultConfig()
+
+	angles := DefaultConfig()
+	angles.EstimateBias = false
+	angles.EstimateScale = false
+
+	biasOnly := DefaultConfig()
+	biasOnly.EstimateScale = false
+
+	scaleOnly := DefaultConfig()
+	scaleOnly.EstimateBias = false
+
+	adaptive := DefaultConfig()
+	adaptive.AdaptiveR = AdaptiveConfig{Enabled: true, Window: 64}
+
+	lever := DefaultConfig()
+	lever.EstimateLever = true
+
+	return []Config{full, angles, biasOnly, scaleOnly, adaptive, lever, full}
+}
+
+// driveEstimator runs a short deterministic measurement sequence and
+// returns a fingerprint of everything externally observable.
+func driveEstimator(t *testing.T, e *Estimator) [16]float64 {
+	t.Helper()
+	e.SetInitialBias(0.01, -0.02, 0.005)
+	dt := 0.01
+	for i := 0; i < 400; i++ {
+		ph := float64(i) * dt
+		f := geom.Vec3{0.3 * math.Sin(ph), 0.2 * math.Cos(ph), -9.81}
+		w := geom.Vec3{0.01 * math.Sin(0.5*ph), 0, 0.02}
+		ax := f[0] + 0.05 + 0.001*math.Sin(3*ph)
+		ay := f[1] - 0.03 + 0.001*math.Cos(3*ph)
+		q := QualityFresh
+		switch {
+		case i%97 == 0:
+			q = QualityDropout
+		case i%31 == 0:
+			q = QualityHeld
+		}
+		if _, err := e.StepDegraded(dt, f, w, ax, ay, q); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	m := e.Misalignment()
+	s := e.AngleSigmas()
+	bx, by := e.Biases()
+	rx, ry := e.RHat()
+	return [16]float64{
+		m.Roll, m.Pitch, m.Yaw,
+		s[0], s[1], s[2],
+		bx, by, rx, ry,
+		e.MeanNIS(), e.MeasNoise(),
+		float64(e.Steps()), float64(e.Gated()),
+		float64(e.Dropouts()), float64(e.HeldUpdates()),
+	}
+}
+
+// TestResetMatchesNew drives one reused estimator through a sequence of
+// heterogeneous configurations and checks every run is bit-identical to
+// a freshly constructed estimator under the same configuration — the
+// contract the pooled serving runner is built on.
+func TestResetMatchesNew(t *testing.T) {
+	cfgs := resetTestConfigs()
+	reused := New(cfgs[0])
+	for k, cfg := range cfgs {
+		if err := reused.Reset(cfg); err != nil {
+			t.Fatalf("config %d: Reset: %v", k, err)
+		}
+		got := driveEstimator(t, reused)
+		want := driveEstimator(t, New(cfg))
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("config %d: fingerprint[%d]: reset %v != fresh %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestResetRejectsInvalidConfig pins the error (not panic) contract for
+// configurations arriving from the serving layer, and that a failed
+// Reset leaves the estimator usable.
+func TestResetRejectsInvalidConfig(t *testing.T) {
+	e := New(DefaultConfig())
+	bad := DefaultConfig()
+	bad.MeasNoise = 0
+	if err := e.Reset(bad); err == nil {
+		t.Fatal("Reset accepted MeasNoise=0")
+	}
+	if err := Validate(bad); err == nil {
+		t.Fatal("Validate accepted MeasNoise=0")
+	}
+	if err := Validate(DefaultConfig()); err != nil {
+		t.Fatalf("Validate rejected the default config: %v", err)
+	}
+}
+
+// TestResetAllocFree pins the steady-state contract: resetting an
+// estimator to a configuration with the same layout and adaptive window
+// touches the heap not at all.
+func TestResetAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AdaptiveR = AdaptiveConfig{Enabled: true, Window: 64}
+	e := New(cfg)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := e.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset allocated %.1f times per run; want 0", allocs)
+	}
+}

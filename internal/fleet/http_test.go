@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestGoldenHTTP pins the JSON wire schema — request field names,
+// response field names, and the exact bytes of a deterministic batch
+// reply. A failure here is a wire-format change: clients depend on
+// this shape, so update the golden deliberately, not incidentally.
+func TestGoldenHTTP(t *testing.T) {
+	s := NewServer(1, 16)
+	defer s.Close()
+	h := s.HTTPHandler()
+
+	req := `{"scenarios":[` +
+		`{"kind":"static","tenant":7,"seed":42,"dur":5,"mis_deg":[2,-3,1],"no_calibrate":true},` +
+		`{"kind":"bogus","seed":1,"dur":5,"mis_deg":[0,0,0]}]}`
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(req)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad kind accepted: %d %s", rec.Code, rec.Body.String())
+	}
+
+	req = `{"scenarios":[` +
+		`{"kind":"static","tenant":7,"seed":42,"dur":5,"mis_deg":[2,-3,1],"no_calibrate":true},` +
+		`{"kind":"static","seed":1,"dur":-5,"mis_deg":[0,0,0]}]}`
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(req)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch failed: %d %s", rec.Code, rec.Body.String())
+	}
+	golden := `{"results":[{"status":"ok","error_deg":[0.14032128189946227,0.26960349172398335,0.008641635675319802],"three_sigma_deg":[0.30780907116431655,0.3371409578289111,0.05260244904428347],"within_confidence":true,"steps":500,"final_meas_noise":0.01,"mean_nis":1.5154856511873676,"exceedance_rate":0},{"status":"error","error":"fleet: duration -5 outside (0, 600] s","error_deg":[0,0,0],"three_sigma_deg":[0,0,0],"within_confidence":false,"steps":0,"final_meas_noise":0,"mean_nis":0,"exceedance_rate":0}],"admitted":2,"shed":0}` + "\n"
+	if rec.Body.String() != golden {
+		t.Errorf("JSON schema or result bytes changed:\n got %swant %s", rec.Body.String(), golden)
+	}
+
+	// Stats endpoint shape.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var st StatsJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if st.Admitted != 2 || st.Completed != 2 || st.Failed != 1 || st.Workers != 1 || st.Depth != 16 {
+		t.Errorf("stats counters %+v", st)
+	}
+
+	// Liveness.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHTTPReplayMatchesBinary runs the same spec through the JSON path
+// and the binary encoding and checks the numbers agree exactly — the
+// two protocol faces serve one engine.
+func TestHTTPReplayMatchesBinary(t *testing.T) {
+	s := NewServer(2, 16)
+	defer s.Close()
+
+	sp := ScenarioSpec{Kind: KindDynamic, Tenant: 3, Seed: 9, Dur: 3, MisDeg: [3]float64{1, 2, -1}}
+	b := s.NewBatch()
+	b.Add(sp)
+	b.Submit(false)
+	b.Wait()
+	if b.Err(0) != nil {
+		t.Fatal(b.Err(0))
+	}
+	wire, err := DecodeResult(AppendResult(nil, 0, StatusOK, b.Results()[0])[4 : 4+resultLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+
+	body := `{"scenarios":[{"kind":"dynamic","tenant":3,"seed":9,"dur":3,"mis_deg":[1,2,-1]}]}`
+	rec := httptest.NewRecorder()
+	s.HTTPHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body)))
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Status != "ok" {
+		t.Fatalf("http reply: %+v", resp)
+	}
+	rj := resp.Results[0]
+	if rj.ErrorDeg != wire.ErrorDeg || rj.ThreeSigmaDeg != wire.ThreeSigmaDeg ||
+		rj.Steps != int(wire.Steps) || rj.MeanNIS != wire.MeanNIS ||
+		rj.FinalMeasNoise != wire.FinalMeasNoise || rj.ExceedanceRate != wire.ExceedanceRate {
+		t.Errorf("JSON and binary results disagree:\n json %+v\n wire %+v", rj, wire)
+	}
+}

@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"boresight/internal/parallel"
+	"boresight/internal/system"
+)
+
+// ErrShed marks a scenario the admission layer refused because the
+// queue was full — the explicit overload signal. Shedding is always
+// per scenario: one full queue never fails a whole batch.
+var ErrShed = errors.New("fleet: shed: queue full")
+
+// Server shards scenario batches across a deterministic worker pool.
+//
+// Architecture: a parallel.Pool of workers, each pinned to its own
+// system.Runner for its whole lifetime, pulls per-scenario jobs from
+// the bounded queue. A job carries only (batch, index); the batch owns
+// the spec and result storage, every job writes only its own index,
+// and every random draw derives from the spec's tenant seed — so
+// results are byte-identical at any worker count (the parallel
+// package's determinism contract, held by TestFleetReplay).
+//
+// Admission: Batch.Submit uses TrySubmit, so a full queue sheds the
+// overflow scenarios immediately (ErrShed) instead of converting
+// overload into unbounded latency; Submit(block=true) is the
+// backpressure form for callers that must not shed. The queue depth is
+// the concurrency bound: "100k concurrent scenarios" means 100k
+// admitted-but-unfinished jobs resident in the queue at once, which at
+// 16 bytes a job is a few megabytes, not a few hundred thousand
+// goroutines.
+//
+// Allocation: jobs, batches and results are pooled, workers reuse
+// their Runner's scratch, and the wire layer encodes into caller
+// buffers — in steady state a served batch allocates nothing
+// (BenchmarkFleetThroughput pins 0 allocs/op).
+type Server struct {
+	pool    *parallel.Pool[*job]
+	runners []*system.Runner
+
+	jobPool   sync.Pool
+	batchPool sync.Pool
+
+	admitted  atomic.Int64
+	completed atomic.Int64
+	shed      atomic.Int64
+	failed    atomic.Int64
+	inflight  atomic.Int64
+	peak      atomic.Int64
+}
+
+type job struct {
+	batch *Batch
+	idx   int
+}
+
+// NewServer starts a serving pool. workers <= 0 resolves to the CPU
+// count; depth is the admission queue bound (the maximum number of
+// concurrently admitted scenarios; minimum 1).
+func NewServer(workers, depth int) *Server {
+	s := &Server{}
+	s.jobPool.New = func() any { return new(job) }
+	s.batchPool.New = func() any { return new(Batch) }
+	s.pool = parallel.NewPool(workers, depth, s.serve)
+	s.runners = make([]*system.Runner, s.pool.Workers())
+	for i := range s.runners {
+		s.runners[i] = system.NewRunner()
+	}
+	return s
+}
+
+// serve runs one scenario on the worker's pinned Runner.
+func (s *Server) serve(worker int, j *job) {
+	b, i := j.batch, j.idx
+	s.jobPool.Put(j)
+	res := b.results[i]
+	if res == nil {
+		res = system.GetResult()
+		b.results[i] = res
+	}
+	cfg, err := b.specs[i].Config()
+	if err == nil {
+		err = s.runners[worker].RunInto(res, cfg)
+	}
+	if err != nil {
+		b.errs[i] = err
+		s.failed.Add(1)
+	}
+	s.completed.Add(1)
+	s.inflight.Add(-1)
+	b.wg.Done()
+}
+
+// Close stops accepting work and blocks until every admitted scenario
+// has finished — the graceful drain. The caller must stop submitting
+// first (fleetd closes its listeners before calling Close). Idempotent.
+func (s *Server) Close() { s.pool.Close() }
+
+// Stats is a snapshot of the admission counters.
+type Stats struct {
+	Admitted, Completed, Shed, Failed int64
+	// Inflight counts admitted-but-unfinished scenarios (queued or
+	// running); PeakInflight is its high-water mark — the maximum
+	// concurrency the server has actually sustained.
+	Inflight, PeakInflight int64
+	// Queued is the advisory queue occupancy; Workers and Depth are
+	// the pool geometry.
+	Queued, Workers, Depth int
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Admitted:     s.admitted.Load(),
+		Completed:    s.completed.Load(),
+		Shed:         s.shed.Load(),
+		Failed:       s.failed.Load(),
+		Inflight:     s.inflight.Load(),
+		PeakInflight: s.peak.Load(),
+		Queued:       s.pool.Queued(),
+		Workers:      s.pool.Workers(),
+		Depth:        s.pool.Depth(),
+	}
+}
+
+// Telemetry renders the counters as a wire snapshot.
+func (s *Server) Telemetry() Telemetry {
+	st := s.Stats()
+	return Telemetry{
+		Admitted: uint64(st.Admitted), Completed: uint64(st.Completed),
+		Shed: uint64(st.Shed), Failed: uint64(st.Failed),
+		Inflight: uint64(st.Inflight), Queued: uint64(st.Queued),
+		PeakInflight: uint64(st.PeakInflight),
+	}
+}
+
+// Batch is one request's worth of scenarios and their result storage.
+// Batches are pooled: Release hands the batch and its result capacity
+// back for the next request, which is what keeps the steady-state
+// serving path allocation-free.
+type Batch struct {
+	srv     *Server
+	specs   []ScenarioSpec
+	results []*system.Result
+	errs    []error
+	wg      sync.WaitGroup
+}
+
+// NewBatch returns an empty (possibly recycled) batch.
+func (s *Server) NewBatch() *Batch {
+	b := s.batchPool.Get().(*Batch)
+	b.srv = s
+	return b
+}
+
+// Add appends one scenario to the batch. Recycled result capacity is
+// reused in place: re-extending into the backing array picks up the
+// pooled *Result pointers left there by Release.
+func (b *Batch) Add(sp ScenarioSpec) {
+	b.specs = append(b.specs, sp)
+	if len(b.results) < cap(b.results) {
+		b.results = b.results[:len(b.results)+1]
+	} else {
+		b.results = append(b.results, nil)
+	}
+	if len(b.errs) < cap(b.errs) {
+		b.errs = b.errs[:len(b.errs)+1]
+		b.errs[len(b.errs)-1] = nil
+	} else {
+		b.errs = append(b.errs, nil)
+	}
+}
+
+// Len returns the number of scenarios added.
+func (b *Batch) Len() int { return len(b.specs) }
+
+// Submit hands every scenario to the pool. With block=false a full
+// queue sheds the scenario (its error becomes ErrShed); with
+// block=true submission waits for queue space — backpressure instead
+// of shedding. Returns the admitted and shed counts. Submit must not
+// race with Server.Close.
+func (b *Batch) Submit(block bool) (admitted, shed int) {
+	s := b.srv
+	for i := range b.specs {
+		j := s.jobPool.Get().(*job)
+		j.batch, j.idx = b, i
+		b.wg.Add(1)
+		s.inflight.Add(1)
+		if block {
+			s.pool.Submit(j)
+		} else if !s.pool.TrySubmit(j) {
+			s.jobPool.Put(j)
+			b.errs[i] = ErrShed
+			b.wg.Done()
+			s.inflight.Add(-1)
+			s.shed.Add(1)
+			shed++
+			continue
+		}
+		admitted++
+		s.admitted.Add(1)
+		for {
+			cur, p := s.inflight.Load(), s.peak.Load()
+			if cur <= p || s.peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+	}
+	return admitted, shed
+}
+
+// Wait blocks until every admitted scenario of this batch has run.
+func (b *Batch) Wait() { b.wg.Wait() }
+
+// Err returns the scenario's failure: nil, ErrShed, or the run error.
+// Results()[i] is meaningful only when Err(i) is nil.
+func (b *Batch) Err(i int) error { return b.errs[i] }
+
+// Status maps a scenario's outcome to its wire status byte.
+func (b *Batch) Status(i int) byte {
+	switch b.errs[i] {
+	case nil:
+		return StatusOK
+	case ErrShed:
+		return StatusShed
+	}
+	return StatusError
+}
+
+// Results returns the per-scenario results, parallel to the specs.
+// Entries whose Err is non-nil hold recycled storage, not a result.
+func (b *Batch) Results() []*system.Result { return b.results }
+
+// Spec returns the i-th submitted spec.
+func (b *Batch) Spec(i int) ScenarioSpec { return b.specs[i] }
+
+// Release recycles the batch. The result storage stays attached to the
+// batch (truncated, pointers parked in the backing array) so the next
+// request that reuses this batch runs into the same memory. The caller
+// must not retain results after Release.
+func (b *Batch) Release() {
+	s := b.srv
+	b.specs = b.specs[:0]
+	b.results = b.results[:0]
+	b.errs = b.errs[:0]
+	b.srv = nil
+	s.batchPool.Put(b)
+}

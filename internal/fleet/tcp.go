@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// The binary face of the server: the throughput path. One connection
+// carries a Hello handshake and then a sequence of batches; the
+// per-connection session owns a reused read buffer, frame parser,
+// output buffer and pooled Batch, so serving a batch in steady state
+// allocates nothing — the decode → run → encode pipeline the
+// BenchmarkFleetThroughput guard measures runs exactly this code.
+
+// connReadBuf is the per-connection read chunk size.
+const connReadBuf = 64 << 10
+
+// defaultTelemetryEvery is the result interval between telemetry
+// frames when the client's Hello asks for 0.
+const defaultTelemetryEvery = 4096
+
+// ServeBinary serves the binary protocol on ln until the listener is
+// closed (returning nil) or Accept fails (returning that error). Each
+// connection gets its own goroutine; ServeBinary waits for them all
+// before returning. Shutdown order: close ln, let ServeBinary return,
+// then drain with Server.Close.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// session is the per-connection reusable state.
+type session struct {
+	parser FrameParser
+	rbuf   []byte
+	out    []byte
+	batch  *Batch
+	every  int // telemetry interval (results per telemetry frame)
+}
+
+// ServeConn runs the binary protocol on one connection until EOF or a
+// protocol error, then closes it. Exported so tests and in-process
+// loopback clients (net.Pipe) can drive the exact production path.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	ss := session{
+		rbuf:  make([]byte, connReadBuf),
+		out:   make([]byte, 0, 64<<10),
+		batch: s.NewBatch(),
+		every: defaultTelemetryEvery,
+	}
+	defer func() { ss.batch.Release() }()
+	for {
+		n, err := conn.Read(ss.rbuf)
+		if n > 0 {
+			ss.parser.Feed(ss.rbuf[:n])
+			for {
+				typ, payload, ok := ss.parser.Next()
+				if !ok {
+					break
+				}
+				if !s.serveFrame(conn, &ss, typ, payload) {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// serveFrame handles one parsed frame; false tears the session down.
+func (s *Server) serveFrame(conn net.Conn, ss *session, typ byte, payload []byte) bool {
+	switch typ {
+	case FrameHello:
+		version, _, every, _, err := DecodeHello(payload)
+		if err != nil || version != WireVersion {
+			return false
+		}
+		if every > 0 {
+			ss.every = int(every)
+		}
+		ss.out = AppendHello(ss.out[:0],
+			uint16(s.pool.Workers()), uint16(ss.every), uint32(s.pool.Depth()))
+		_, werr := conn.Write(ss.out)
+		return werr == nil
+	case FrameScenario:
+		sp, err := DecodeScenario(payload)
+		if err != nil {
+			return false
+		}
+		ss.batch.Add(sp)
+		return true
+	case FrameBatchEnd:
+		return s.serveBatch(conn, ss)
+	default:
+		// Unknown-but-valid frame: ignore for forward compatibility.
+		return true
+	}
+}
+
+// serveBatch runs the accumulated batch and streams the reply:
+// results in input order with telemetry interleaved every ss.every
+// results, a final telemetry snapshot, and the closing BatchEnd.
+func (s *Server) serveBatch(conn net.Conn, ss *session) bool {
+	b := ss.batch
+	admitted, shed := b.Submit(false)
+	b.Wait()
+	ss.out = ss.out[:0]
+	for i := range b.Results() {
+		ss.out = AppendResult(ss.out, uint32(i), b.Status(i), b.Results()[i])
+		if (i+1)%ss.every == 0 {
+			ss.out = AppendTelemetry(ss.out, s.Telemetry())
+		}
+		// Flush in chunks so a 100k-scenario reply does not balloon
+		// the output buffer: the buffer is the backpressure unit.
+		if len(ss.out) >= connReadBuf {
+			if _, err := conn.Write(ss.out); err != nil {
+				return false
+			}
+			ss.out = ss.out[:0]
+		}
+	}
+	ss.out = AppendTelemetry(ss.out, s.Telemetry())
+	ss.out = AppendBatchEnd(ss.out, uint32(admitted), uint32(shed))
+	if _, err := conn.Write(ss.out); err != nil {
+		return false
+	}
+	// Reset for the next batch on this connection, keeping storage.
+	b.specs = b.specs[:0]
+	b.results = b.results[:0]
+	b.errs = b.errs[:0]
+	return true
+}

@@ -1,0 +1,233 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"boresight/internal/system"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	sp := ScenarioSpec{
+		Kind: KindDynamic, Tenant: 0xDEADBEEF, Seed: -42,
+		Dur: 12.5, SampleRate: 200,
+		MisDeg:         [3]float64{2.25, -3.5, 0.125},
+		EstimateStride: 7, NoCalibrate: true,
+	}
+	frame := AppendScenario(nil, sp)
+	var p FrameParser
+	p.Feed(frame)
+	typ, payload, ok := p.Next()
+	if !ok || typ != FrameScenario {
+		t.Fatalf("parse: ok=%v typ=%#x", ok, typ)
+	}
+	got, err := DecodeScenario(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sp {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, sp)
+	}
+
+	tel := Telemetry{Admitted: 1, Completed: 2, Shed: 3, Failed: 4, Inflight: 5, Queued: 6, PeakInflight: 7}
+	p.Feed(AppendTelemetry(nil, tel))
+	typ, payload, ok = p.Next()
+	if !ok || typ != FrameTelemetry {
+		t.Fatal("telemetry frame did not parse")
+	}
+	if got, err := DecodeTelemetry(payload); err != nil || got != tel {
+		t.Fatalf("telemetry round trip: %+v %v", got, err)
+	}
+
+	p.Feed(AppendBatchEnd(nil, 9, 4))
+	_, payload, ok = p.Next()
+	if !ok {
+		t.Fatal("batchend did not parse")
+	}
+	if a, sh, err := DecodeBatchEnd(payload); err != nil || a != 9 || sh != 4 {
+		t.Fatalf("batchend round trip: %d %d %v", a, sh, err)
+	}
+
+	p.Feed(AppendHello(nil, 8, 512, 1024))
+	_, payload, ok = p.Next()
+	if !ok {
+		t.Fatal("hello did not parse")
+	}
+	v, w, every, depth, err := DecodeHello(payload)
+	if err != nil || v != WireVersion || w != 8 || every != 512 || depth != 1024 {
+		t.Fatalf("hello round trip: v=%d w=%d every=%d depth=%d err=%v", v, w, every, depth, err)
+	}
+}
+
+// TestParserResync corrupts and fragments the stream and checks the
+// parser recovers on the next frame boundary — the link-layer resync
+// discipline.
+func TestParserResync(t *testing.T) {
+	sp := ScenarioSpec{Kind: KindStatic, Seed: 5, Dur: 1}
+	good := AppendScenario(nil, sp)
+
+	var p FrameParser
+	// Garbage, a corrupted frame (payload bit flipped), then a good one.
+	corrupt := append([]byte(nil), good...)
+	corrupt[10] ^= 0x40
+	stream := append([]byte{0x00, 0x17, FrameSync ^ 1}, corrupt...)
+	stream = append(stream, good...)
+
+	// Feed byte by byte: the parser must work at any fragmentation.
+	var got []ScenarioSpec
+	for _, b := range stream {
+		p.Feed(stream[:0]) // exercise empty feeds too
+		p.Feed([]byte{b})
+		for {
+			typ, payload, ok := p.Next()
+			if !ok {
+				break
+			}
+			if typ != FrameScenario {
+				t.Fatalf("unexpected type %#x", typ)
+			}
+			s, err := DecodeScenario(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, s)
+		}
+	}
+	if len(got) != 1 || got[0] != sp {
+		t.Fatalf("recovered %d frames (%v), want the one good frame", len(got), got)
+	}
+	if _, badSum, resyncs := p.Stats(); badSum == 0 || resyncs == 0 {
+		t.Error("corruption left no trace in the parser counters")
+	}
+}
+
+// TestParserBoundsHostileLength checks a frame header advertising an
+// oversized length cannot make the parser buffer unboundedly.
+func TestParserBoundsHostileLength(t *testing.T) {
+	var p FrameParser
+	p.Feed([]byte{FrameSync, FrameScenario, 0xFF, 0xFF}) // 65535-byte payload claim
+	if _, _, ok := p.Next(); ok {
+		t.Fatal("hostile length yielded a frame")
+	}
+	// The parser must have dropped the bogus header rather than
+	// waiting for 65 KB that will never arrive.
+	good := AppendScenario(nil, ScenarioSpec{Kind: KindStatic, Seed: 1, Dur: 1})
+	p.Feed(good)
+	if _, _, ok := p.Next(); !ok {
+		t.Fatal("parser did not recover after hostile length")
+	}
+}
+
+// TestGoldenBinary pins the binary wire schema byte for byte. If this
+// test fails you have changed the wire format: bump WireVersion and
+// update the goldens deliberately.
+func TestGoldenBinary(t *testing.T) {
+	sp := ScenarioSpec{
+		Kind: KindStatic, Tenant: 7, Seed: 42, Dur: 5, SampleRate: 100,
+		MisDeg: [3]float64{2, -3, 1}, EstimateStride: 0, NoCalibrate: true,
+	}
+	goldenScenario := "fb0200380101000000000007000000000000002a4014000000000000405900000000000040000" +
+		"00000000000c0080000000000003ff00000000000006f"
+	if got := hex.EncodeToString(AppendScenario(nil, sp)); got != goldenScenario {
+		t.Errorf("scenario frame changed:\n got %s\nwant %s", got, goldenScenario)
+	}
+
+	goldenHello := "fb010009010008000004000002e7"
+	if got := hex.EncodeToString(AppendHello(nil, 8, 2, 1024)); got != goldenHello {
+		t.Errorf("hello frame changed:\n got %s\nwant %s", got, goldenHello)
+	}
+
+	goldenBatchEnd := "fb0300080000000500000002ee"
+	if got := hex.EncodeToString(AppendBatchEnd(nil, 5, 2)); got != goldenBatchEnd {
+		t.Errorf("batchend frame changed:\n got %s\nwant %s", got, goldenBatchEnd)
+	}
+}
+
+// FuzzFrameParser feeds arbitrary bytes into the parser: it must never
+// panic, never return a frame whose checksum would not verify, and
+// keep accepting well-formed frames afterwards.
+func FuzzFrameParser(f *testing.F) {
+	f.Add(AppendScenario(nil, ScenarioSpec{Kind: KindStatic, Seed: 1, Dur: 1}))
+	f.Add(AppendBatchEnd(nil, 1, 0))
+	f.Add([]byte{FrameSync, FrameScenario, 0xFF, 0xFF, 0x00})
+	f.Add(bytes.Repeat([]byte{FrameSync}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p FrameParser
+		for len(data) > 0 {
+			n := 7
+			if n > len(data) {
+				n = len(data)
+			}
+			p.Feed(data[:n])
+			data = data[n:]
+			for {
+				_, payload, ok := p.Next()
+				if !ok {
+					break
+				}
+				if len(payload) > maxFrameLen {
+					t.Fatalf("parser returned %d-byte payload beyond bound", len(payload))
+				}
+			}
+		}
+		// The parser must still work after arbitrary garbage: a
+		// pending bogus header can swallow at most maxFrameLen+5
+		// bytes, so a bounded number of clean frames always flushes
+		// it through to resync.
+		good := AppendScenario(nil, ScenarioSpec{Kind: KindDynamic, Seed: 9, Dur: 2})
+		attempts := 0
+		p.Feed(good)
+		for {
+			typ, payload, ok := p.Next()
+			if !ok {
+				if attempts++; attempts > 10 {
+					t.Fatal("parser lost a good frame after garbage")
+				}
+				p.Feed(good)
+				continue
+			}
+			if typ == FrameScenario {
+				if got, err := DecodeScenario(payload); err == nil && got.Seed == 9 {
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestWireResultRoundTrip covers the result codec against a fabricated
+// result-like payload via encode/decode symmetry.
+func TestWireResultRoundTrip(t *testing.T) {
+	w := WireResult{
+		Index: 3, Status: StatusOK,
+		ErrorDeg:         [3]float64{0.1, 0.2, 0.3},
+		ThreeSigmaDeg:    [3]float64{0.4, 0.5, 0.6},
+		WithinConfidence: true, Steps: 1234,
+		FinalMeasNoise: 0.02, MeanNIS: 1.9, ExceedanceRate: 0.01,
+	}
+	res := &system.Result{
+		ErrorDeg:         w.ErrorDeg,
+		ThreeSigmaDeg:    w.ThreeSigmaDeg,
+		WithinConfidence: w.WithinConfidence,
+		Steps:            int(w.Steps),
+		FinalMeasNoise:   w.FinalMeasNoise,
+		MeanNIS:          w.MeanNIS,
+		ExceedanceRate:   w.ExceedanceRate,
+	}
+	frame := AppendResult(nil, w.Index, w.Status, res)
+	var p FrameParser
+	p.Feed(frame)
+	typ, payload, ok := p.Next()
+	if !ok || typ != FrameResult {
+		t.Fatal("result frame did not parse")
+	}
+	got, err := DecodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Fatalf("result round trip:\n got %+v\nwant %+v", got, w)
+	}
+}

@@ -121,6 +121,20 @@ func NewACC(cfg ACCConfig, seed int64) *ACC {
 	}
 }
 
+// Reset re-initialises the ACC in place for a new run, reproducing
+// exactly the instrument NewACC(cfg, seed) builds while reusing the
+// existing RNG allocation. It also undoes any mid-run mutation a
+// previous scenario applied (SetMisalignment bumps, ScaleNoise drifts),
+// because the full configuration is reinstalled.
+func (a *ACC) Reset(cfg ACCConfig, seed int64) {
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = 100
+	}
+	a.cfg = cfg
+	a.body2s = cfg.Misalignment.DCM().T()
+	a.rng.Seed(seed)
+}
+
 // SampleRate returns the configured output rate in Hz.
 func (a *ACC) SampleRate() float64 { return a.cfg.SampleRate }
 

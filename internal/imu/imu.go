@@ -104,6 +104,19 @@ func NewDMU(cfg DMUConfig, seed int64) *DMU {
 	}
 }
 
+// Reset re-initialises the DMU in place for a new run, reproducing
+// exactly the instrument NewDMU(cfg, seed) builds — same defaults, same
+// noise sequence — while reusing the existing RNG allocation. Pooled
+// serving runners reset their sensors once per scenario.
+func (d *DMU) Reset(cfg DMUConfig, seed int64) {
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = 100
+	}
+	d.cfg = cfg
+	d.mount = cfg.Mount.DCM().T()
+	d.rng.Seed(seed)
+}
+
 // SampleRate returns the configured output rate in Hz.
 func (d *DMU) SampleRate() float64 { return d.cfg.SampleRate }
 

@@ -134,6 +134,45 @@ func (f *Filter) Resize(n int) {
 	f.m = -1
 }
 
+// Reset zeroes the state estimate and covariance in place, keeping
+// every scratch buffer, so a filter can be re-used for a fresh run
+// without touching the heap. Callers re-seed the covariance with
+// SetPDiag (or SetP) afterwards, exactly as after New.
+func (f *Filter) Reset() {
+	for i := range f.x {
+		f.x[i] = 0
+	}
+	f.p.Zero()
+}
+
+// SetPDiag zeroes the covariance and installs the given diagonal in
+// place — the allocation-free form of SetP(mat.Diag(...)) that the
+// reusable-runner path depends on. diag must have length Dim.
+func (f *Filter) SetPDiag(diag []float64) {
+	if len(diag) != len(f.x) {
+		panic(fmt.Sprintf("kalman: SetPDiag got %d values for %d states", len(diag), len(f.x)))
+	}
+	f.p.Zero()
+	for i, v := range diag {
+		f.p.Set(i, i, v)
+	}
+}
+
+// SetStateAt overwrites one entry of the state estimate — the
+// allocation-free alternative to the State-modify-SetState round trip.
+func (f *Filter) SetStateAt(i int, v float64) {
+	if i < 0 || i >= len(f.x) {
+		panic(fmt.Sprintf("kalman: SetStateAt index %d out of range for %d states", i, len(f.x)))
+	}
+	f.x[i] = v
+}
+
+// SetCovAt overwrites one entry of the covariance matrix in place.
+// Callers setting off-diagonal terms keep symmetry themselves.
+func (f *Filter) SetCovAt(i, j int, v float64) {
+	f.p.Set(i, j, v)
+}
+
 // NEES returns the normalised estimation error squared eᵀ·P⁻¹·e for a
 // caller-supplied error vector e (estimate minus truth) — the
 // consistency statistic that is χ²(Dim)-distributed when the filter's
@@ -160,6 +199,11 @@ func (f *Filter) State() []float64 {
 	copy(out, f.x)
 	return out
 }
+
+// StateAt returns one component of the state estimate without copying;
+// the allocation-free read for callers that need a few named entries
+// rather than a snapshot.
+func (f *Filter) StateAt(i int) float64 { return f.x[i] }
 
 // StateInto copies the state estimate into dst, which must have length
 // Dim. It allocates nothing; hot loops that snapshot the state every

@@ -42,6 +42,14 @@ type ACCParser struct {
 	resyncs int
 }
 
+// Reset discards buffered bytes and zeroes the health counters while
+// keeping the reassembly buffer's backing array (see
+// BridgeParser.Reset).
+func (p *ACCParser) Reset() {
+	p.buf = p.buf[:0]
+	p.packets, p.badSum, p.resyncs = 0, 0, 0
+}
+
 // drop discards the first k buffered bytes, compacting in place so the
 // backing array never migrates (the parser allocates nothing in steady
 // state).

@@ -50,6 +50,15 @@ type BridgeParser struct {
 	resyncs int
 }
 
+// Reset discards buffered bytes and zeroes the health counters while
+// keeping the reassembly buffer's backing array — a pooled serving
+// runner resets its parsers between scenarios so one run's trailing
+// partial packet can never leak into the next.
+func (p *BridgeParser) Reset() {
+	p.buf = p.buf[:0]
+	p.frames, p.badSum, p.badDLC, p.resyncs = 0, 0, 0, 0
+}
+
 // drop discards the first k buffered bytes, compacting in place so the
 // backing array never migrates (the zero-allocation property).
 func (p *BridgeParser) drop(k int) {

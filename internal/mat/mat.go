@@ -112,6 +112,15 @@ func (m *Mat) check(i, j int) {
 	}
 }
 
+// Zero sets every element to zero in place, keeping the backing
+// storage — the reset primitive behind the reusable filter scratch
+// (kalman.Filter.Reset, core.Estimator.Reset).
+func (m *Mat) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
 // Clone returns a deep copy of m.
 func (m *Mat) Clone() *Mat {
 	out := New(m.rows, m.cols)

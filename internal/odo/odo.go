@@ -40,6 +40,19 @@ func NewWheelSensor(pulsesPerMeter float64, seed int64) *WheelSensor {
 	}
 }
 
+// Reset re-initialises the sensor in place for a new run, reproducing
+// exactly the sensor NewWheelSensor(pulsesPerMeter, seed) builds while
+// reusing the existing RNG allocation.
+func (w *WheelSensor) Reset(pulsesPerMeter float64, seed int64) {
+	if pulsesPerMeter <= 0 {
+		pulsesPerMeter = 24.6
+	}
+	w.PulsesPerMeter = pulsesPerMeter
+	w.JitterProb = 0.05
+	w.accum = 0
+	w.rng.Seed(seed)
+}
+
 // Sample advances dt seconds at the given true speed (m/s) and returns
 // the integer pulse count delivered for the interval.
 func (w *WheelSensor) Sample(speed, dt float64) int {
@@ -105,6 +118,10 @@ type Aider struct {
 func NewAider() *Aider {
 	return &Aider{Window: 1.0}
 }
+
+// Reset restores the aider to its freshly constructed state; the struct
+// holds no heap references, so this is a plain overwrite.
+func (a *Aider) Reset() { *a = Aider{Window: 1.0} }
 
 // Update consumes one epoch: dt, the odometry speed sample (m/s, may be
 // quantisation-noisy) and the IMU's x-axis specific force (m/s²). It

@@ -1,0 +1,88 @@
+package parallel
+
+import "sync"
+
+// Pool is the long-running counterpart of For: a fixed set of workers
+// serving an unbounded stream of work items through a bounded queue.
+// For owns a batch whose size is known up front; a serving process
+// (the fleet simulation service) accepts work forever and needs the
+// queue bound to be an explicit admission-control surface — a full
+// queue is how overload becomes visible instead of becoming latency.
+//
+// The determinism contract is the same as For's, sharpened for worker
+// identity: a job must read only its own inputs and write only its own
+// storage, and the worker index passed to serve may address only
+// per-worker *scratch* (a reusable runner, an arena) whose contents
+// never influence a job's output. Under that contract every
+// interleaving produces byte-identical per-job results, which the
+// fleet replay tests assert at several worker counts.
+//
+// Jobs are typed, not closures, so a pooled job object submitted by a
+// zero-allocation serving path stays zero-allocation end to end.
+type Pool[J any] struct {
+	jobs  chan J
+	wg    sync.WaitGroup
+	w     int
+	close sync.Once
+}
+
+// NewPool starts a pool of workers (resolved via Resolve) pulling from
+// a queue of the given depth (minimum 1). serve is invoked as
+// serve(worker, job) with worker in [0, Workers()); it must not panic —
+// a serving worker that dies silently would strand every queued job, so
+// panics are intentionally not recovered here and will crash loudly.
+func NewPool[J any](workers, depth int, serve func(worker int, job J)) *Pool[J] {
+	w := Resolve(workers)
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pool[J]{jobs: make(chan J, depth), w: w}
+	p.wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(worker int) {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				serve(worker, job)
+			}
+		}(k)
+	}
+	return p
+}
+
+// Workers returns the resolved worker count.
+func (p *Pool[J]) Workers() int { return p.w }
+
+// Depth returns the queue bound.
+func (p *Pool[J]) Depth() int { return cap(p.jobs) }
+
+// Queued returns the number of jobs currently waiting (not yet picked
+// up by a worker). Advisory: it races with the workers by nature.
+func (p *Pool[J]) Queued() int { return len(p.jobs) }
+
+// TrySubmit enqueues a job without blocking. It returns false when the
+// queue is full — the admission layer's shed signal. Submitting after
+// Close panics (send on closed channel), matching the serving layer's
+// obligation to stop admitting before draining.
+func (p *Pool[J]) TrySubmit(job J) bool {
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit enqueues a job, blocking while the queue is full — the
+// backpressure path for callers that must not shed (a drain barrier,
+// an in-process batch runner).
+func (p *Pool[J]) Submit(job J) {
+	p.jobs <- job
+}
+
+// Close stops admission and blocks until every queued job has been
+// served and all workers have exited — the graceful-drain half of the
+// serving lifecycle. Close is idempotent.
+func (p *Pool[J]) Close() {
+	p.close.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}

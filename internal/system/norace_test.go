@@ -1,0 +1,5 @@
+//go:build !race
+
+package system
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package system
+
+// raceEnabled relaxes allocation-count guards under the race detector,
+// whose instrumentation allocates in the goroutine fan-out path.
+const raceEnabled = true

@@ -2,9 +2,50 @@ package system
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"boresight/internal/parallel"
 )
+
+// ScenarioError records one failed scenario inside a batch, keyed by
+// its input index.
+type ScenarioError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e ScenarioError) Error() string { return fmt.Sprintf("run %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying failure for errors.Is/As.
+func (e ScenarioError) Unwrap() error { return e.Err }
+
+// BatchError aggregates every failed scenario of a RunMany batch. The
+// batch's healthy scenarios still produced results — partial-batch
+// semantics: one malformed configuration among 100k must not discard
+// the other 99999 runs.
+type BatchError struct {
+	// Failed lists the failures in ascending input-index order.
+	Failed []ScenarioError
+	// Total is the batch size.
+	Total int
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("system: %d of %d scenarios failed; first: %v",
+		len(e.Failed), e.Total, e.Failed[0])
+}
+
+// Unwrap exposes the individual failures for errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		out[i] = f
+	}
+	return out
+}
 
 // RunMany executes independent scenario configurations on a worker
 // pool and returns their results in input order. Every random draw
@@ -13,20 +54,59 @@ import (
 // worker count — including workers=1, which degenerates to calling Run
 // in a plain loop. workers <= 0 uses one worker per CPU.
 //
+// Failures are partial: a scenario that cannot run leaves a nil result
+// slot, and the returned error is a *BatchError listing every failed
+// index — the surviving results are still valid. Results are drawn
+// from the package Result pool; callers that process many batches hand
+// them back with Recycle (optional — an un-recycled Result is ordinary
+// garbage).
+//
 // This is the trial runner under the Monte Carlo study and the
 // table-style experiments: they build their full config list up front,
 // fan the runs out here, and then aggregate serially in input order so
 // floating-point reductions also keep a fixed evaluation order.
 func RunMany(cfgs []Config, workers int) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
-	errs := make([]error, len(cfgs))
-	parallel.For(len(cfgs), workers, func(i int) {
-		results[i], errs[i] = Run(cfgs[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("system: run %d of %d: %w", i, len(cfgs), err)
-		}
+	err := RunManyInto(results, cfgs, workers)
+	return results, err
+}
+
+// RunManyInto is RunMany with a caller-supplied result slice (len must
+// equal len(cfgs)): non-nil entries are reused in place, nil entries
+// are drawn from the pool. With recycled entries the serial path
+// allocates nothing per scenario in steady state — the batch
+// counterpart of the per-epoch zero-allocation contract, guarded by
+// TestRunManyBatchAllocs. A failed scenario's slot is set to nil (a
+// caller-supplied Result in that slot is recycled).
+func RunManyInto(results []*Result, cfgs []Config, workers int) error {
+	if len(results) != len(cfgs) {
+		return fmt.Errorf("system: RunManyInto got %d result slots for %d configs",
+			len(results), len(cfgs))
 	}
-	return results, nil
+	var mu sync.Mutex
+	var failed []ScenarioError
+	parallel.For(len(cfgs), workers, func(i int) {
+		r := runnerPool.Get().(*Runner)
+		res := results[i]
+		if res == nil {
+			res = GetResult()
+		}
+		if err := r.RunInto(res, cfgs[i]); err != nil {
+			Recycle(res)
+			results[i] = nil
+			mu.Lock()
+			failed = append(failed, ScenarioError{Index: i, Err: err})
+			mu.Unlock()
+		} else {
+			results[i] = res
+		}
+		runnerPool.Put(r)
+	})
+	if failed != nil {
+		// Workers finish in scheduling order; report in input order so
+		// the error is deterministic at every worker count.
+		sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+		return &BatchError{Failed: failed, Total: len(cfgs)}
+	}
+	return nil
 }
