@@ -48,13 +48,16 @@ cover:
 
 # Short fuzz passes: the ADXL202 duty-cycle codec round-trip, the
 # three-way Sabre engine parity oracle (a full minute: it differences
-# the reference, fast and compiled engines), the two link-layer packet
-# parsers (the surfaces a faulted wire feeds arbitrary bytes into), and
-# the adaptive measurement-noise estimator's clamp/skip safety contract
-# under arbitrary outlier, NaN and degraded-quality streams.
+# the reference, fast and compiled engines), the softfloat intrinsic
+# mirrors (result bits AND cycle/instret deltas vs the emulated
+# routines), the two link-layer packet parsers (the surfaces a faulted
+# wire feeds arbitrary bytes into), and the adaptive measurement-noise
+# estimator's clamp/skip safety contract under arbitrary outlier, NaN
+# and degraded-quality streams.
 fuzz:
 	$(GO) test -fuzz=FuzzDutyCycleCodec -fuzztime=30s ./internal/imu/
 	$(GO) test -run '^$$' -fuzz=FuzzEngineParity -fuzztime=60s ./internal/sabre/
+	$(GO) test -run '^$$' -fuzz=FuzzSoftFloatIntrinsics -fuzztime=30s ./internal/sabre/
 	$(GO) test -run '^$$' -fuzz=FuzzBridgeParser -fuzztime=30s ./internal/link/
 	$(GO) test -run '^$$' -fuzz=FuzzACCParser -fuzztime=30s ./internal/link/
 	$(GO) test -run '^$$' -fuzz=FuzzAdaptiveR -fuzztime=30s ./internal/core/
@@ -70,16 +73,17 @@ bench:
 # against the previous archive (>15% ns/op on the same machine, or any
 # allocation on a previously zero-alloc benchmark). benchreport folds
 # the -count repetitions into min ns/op + max allocs/op, which is what
-# makes a wall-time gate workable on noisy shared hardware. See
-# cmd/benchreport.
+# makes a wall-time gate workable on noisy shared hardware. benchreport
+# maintains bench/latest.txt (the pointer to the newest archive) itself
+# and fails if the pointer names a missing archive. See cmd/benchreport.
 bench-json:
 	mkdir -p bench
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 5x -count 3 -bench-dur 10 . > bench/latest.txt
-	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sabre/ >> bench/latest.txt
-	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/fault/ >> bench/latest.txt
-	$(GO) test -run '^$$' -bench BenchmarkAdaptive -benchmem -count 3 ./internal/core/ >> bench/latest.txt
-	$(GO) test -run '^$$' -bench BenchmarkFleet -benchmem -count 3 ./internal/fleet/ >> bench/latest.txt
-	$(GO) run ./cmd/benchreport -emit bench -in bench/latest.txt
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 5x -count 3 -bench-dur 10 . > bench/raw.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/sabre/ >> bench/raw.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/fault/ >> bench/raw.txt
+	$(GO) test -run '^$$' -bench BenchmarkAdaptive -benchmem -count 3 ./internal/core/ >> bench/raw.txt
+	$(GO) test -run '^$$' -bench BenchmarkFleet -benchmem -count 3 ./internal/fleet/ >> bench/raw.txt
+	$(GO) run ./cmd/benchreport -emit bench -in bench/raw.txt
 
 # Sabre engine comparison only: the three execution engines on the
 # softfloat Kalman and fixed-point boresight workloads (ns/emulated

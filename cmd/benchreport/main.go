@@ -5,6 +5,12 @@
 // ns/op growth on the same machine, or any allocation on a benchmark
 // that previously ran allocation-free.
 //
+// In archive mode (-emit) the tool also maintains <dir>/latest.txt, a
+// one-line pointer naming the newest BENCH_<date>.json. The pointer is
+// written on every successful archive and verified first: a latest.txt
+// naming a missing archive fails the run (exit 2) instead of being
+// silently repointed.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchreport -emit bench
@@ -87,12 +93,22 @@ func realMain(out io.Writer, emitDir, inPath, outPath, oldPath, newPath, date st
 	if err := os.MkdirAll(emitDir, 0o755); err != nil {
 		return false, err
 	}
+	// Gate on the pointer before archiving: a latest.txt naming an
+	// archive that is not actually present means the directory was
+	// edited by hand or an archive was dropped — fail loudly rather
+	// than silently repointing.
+	if err := checkLatest(emitDir); err != nil {
+		return false, err
+	}
 	name := "BENCH_" + date + ".json"
 	prev, err := previousArchive(emitDir, name)
 	if err != nil {
 		return false, err
 	}
 	if err := writeReport(filepath.Join(emitDir, name), rep); err != nil {
+		return false, err
+	}
+	if err := writeLatest(emitDir, name); err != nil {
 		return false, err
 	}
 	fmt.Fprintf(out, "archived %s (%d benchmarks)\n", filepath.Join(emitDir, name), len(rep.Results))
@@ -106,6 +122,33 @@ func realMain(out io.Writer, emitDir, inPath, outPath, oldPath, newPath, date st
 	}
 	fmt.Fprintf(out, "comparing against %s\n", prev)
 	return report(out, oldRep, rep, tol), nil
+}
+
+// checkLatest verifies that dir/latest.txt, when present, names an
+// archive that exists. A missing pointer is fine (first run); a
+// dangling one is an error.
+func checkLatest(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, "latest.txt"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSpace(string(data))
+	if name == "" {
+		return nil
+	}
+	if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("latest.txt points at missing archive %s", name)
+	}
+	return nil
+}
+
+// writeLatest repoints dir/latest.txt at the freshly written archive,
+// keeping the pointer maintained by the tool rather than by hand.
+func writeLatest(dir, name string) error {
+	return os.WriteFile(filepath.Join(dir, "latest.txt"), []byte(name+"\n"), 0o644)
 }
 
 // previousArchive returns the lexically greatest BENCH_*.json in dir

@@ -194,6 +194,9 @@ func sabreKalmanHeadline(eng sabre.Engine) error {
 	if res.WallSeconds > 0 {
 		fmt.Printf(", %.1f MIPS host", float64(res.Instructions)/res.WallSeconds/1e6)
 	}
+	if res.Compiled != nil {
+		fmt.Printf("; %s", res.Compiled.Summary())
+	}
 	fmt.Println()
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"boresight/internal/fxcore"
 	"boresight/internal/geom"
 	"boresight/internal/sabre"
+	"boresight/internal/softfloat"
 	"boresight/internal/traj"
 )
 
@@ -64,6 +65,16 @@ func usage() {
 func engineFlag(fs *flag.FlagSet) func() (sabre.Engine, error) {
 	name := fs.String("engine", "fast", "execution engine: ref (decode per step), fast (predecoded+fused) or compiled (block translation)")
 	return func() (sabre.Engine, error) { return sabre.ParseEngine(*name) }
+}
+
+// compiledSuffix formats the compiled engine's intrinsic-call and
+// kernel-vs-generic dispatch statistics for the MIPS summary line
+// ("" for the other engines).
+func compiledSuffix(s *sabre.CompiledStats) string {
+	if s == nil {
+		return ""
+	}
+	return "; " + s.Summary()
 }
 
 func assembleFile(path string) (*sabre.Program, error) {
@@ -144,6 +155,11 @@ func cmdRun(args []string) error {
 	if err := c.LoadProgram(prog.Words); err != nil {
 		return err
 	}
+	var cs *sabre.CompiledStats
+	if eng == sabre.EngineCompiled {
+		cs = &sabre.CompiledStats{}
+		c.CollectCompiledStats(cs)
+	}
 	t0 := time.Now()
 	cycles, err := c.Run(*maxCycles)
 	wall := time.Since(t0).Seconds()
@@ -152,7 +168,8 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("halted after %d cycles, %d instructions\n", c.Cycles, c.Instret)
 	if wall > 0 {
-		fmt.Printf("engine %s: %.1f MIPS host throughput\n", eng, float64(c.Instret)/wall/1e6)
+		fmt.Printf("engine %s: %.1f MIPS host throughput%s\n",
+			eng, float64(c.Instret)/wall/1e6, compiledSuffix(cs))
 	}
 	for i := 0; i < 16; i += 4 {
 		fmt.Printf("r%-2d=%08x  r%-2d=%08x  r%-2d=%08x  r%-2d=%08x\n",
@@ -182,6 +199,8 @@ func cmdSoftfloat(args []string) error {
 		pairs[i] = [2]uint32{0x3FC00000 + uint32(i)<<8, 0x40200000 - uint32(i)<<7}
 	}
 	fmt.Println("SoftFloat on the Sabre core (no FPU): cycles per operation")
+	fmt.Println("(measured includes the batch driver loop; model is the registered")
+	fmt.Println(" cost hook's call..return cost, averaged over the same operands)")
 	for _, routine := range []string{
 		"f32_add", "f32_sub", "f32_mul", "f32_div", "f32_sqrt",
 		"f32_from_i32", "f32_to_i32", "f32_cmp_lt",
@@ -190,9 +209,23 @@ func cmdSoftfloat(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%14s  %7.1f cycles\n", routine, perOp)
+		fmt.Printf("%14s  %7.1f cycles measured%s\n", routine, perOp, costModelCol(routine, pairs))
 	}
 	return nil
+}
+
+// costModelCol averages the softfloat cost hook over the batch
+// operands; empty when no model is registered for the routine.
+func costModelCol(routine string, pairs [][2]uint32) string {
+	var sum uint64
+	for _, p := range pairs {
+		_, cyc, _, ok := softfloat.Cost(routine, p[0], p[1])
+		if !ok {
+			return ""
+		}
+		sum += uint64(cyc)
+	}
+	return fmt.Sprintf("  %7.1f model", float64(sum)/float64(len(pairs)))
 }
 
 func cmdKalman(args []string) error {
@@ -222,8 +255,8 @@ func cmdKalman(args []string) error {
 	fmt.Printf("%.0f cycles/update, %d instructions total\n",
 		res.CyclesPerUpdate, res.Instructions)
 	if res.WallSeconds > 0 {
-		fmt.Printf("engine %s: %.1f MIPS host throughput\n",
-			eng, float64(res.Instructions)/res.WallSeconds/1e6)
+		fmt.Printf("engine %s: %.1f MIPS host throughput%s\n",
+			eng, float64(res.Instructions)/res.WallSeconds/1e6, compiledSuffix(res.Compiled))
 	}
 	fmt.Printf("at 25 MHz: %.0f updates/s available (sensors need 100/s)\n",
 		25e6/res.CyclesPerUpdate)
@@ -274,8 +307,8 @@ func cmdFxBoresight(args []string) error {
 	fmt.Printf("cycles per update: %.0f (%.0f updates/s at 25 MHz; sensors need 100/s)\n",
 		res.CyclesPerUpdate, 25e6/res.CyclesPerUpdate)
 	if res.WallSeconds > 0 {
-		fmt.Printf("engine %s: %.1f MIPS host throughput\n",
-			eng, float64(res.Instructions)/res.WallSeconds/1e6)
+		fmt.Printf("engine %s: %.1f MIPS host throughput%s\n",
+			eng, float64(res.Instructions)/res.WallSeconds/1e6, compiledSuffix(res.Compiled))
 	}
 	return nil
 }

@@ -159,6 +159,7 @@ const (
 	blockGeneric = iota // per-block reference interpretation
 	blockRegion         // generated region kernel (kernels_gen.go)
 	blockHand           // hand-written kernel (kernels.go)
+	blockRuntime        // runtime-generated block closure (regiongen.go)
 	numBlockKinds
 )
 

@@ -19,9 +19,15 @@ package sabre
 //     resumed run can stop anywhere) simply miss and take the generic
 //     path; correctness never depends on a kernel binding.
 //
-//  2. Generic block. Anything unrecognised gets the per-block reference
-//     interpreter closure (runcompiled.go), which is exact by
-//     construction.
+//  2. Runtime block. Anything unrecognised gets a closure synthesised
+//     by the runtime region generator (regiongen.go): the block's
+//     records are predecoded once at translation time and executed
+//     with compiled-tier conventions — counters in locals, no per-
+//     instruction budget checks, and recognised SoftFloat call targets
+//     lowered to the native intrinsic mirrors — so runtime-assembled
+//     programs reach kernel-class dispatch instead of the per-block
+//     generic interpreter. The generic closure (runcompiled.go)
+//     remains as the defensive rebind path.
 
 // compileBlockAt translates the block entered at pc and installs it in
 // the translation table, returning the installed slot.
@@ -38,6 +44,6 @@ func (c *CPU) compileBlockAt(pc uint32) *compiledBlock {
 			return &c.blocks[pc]
 		}
 	}
-	c.blocks[pc] = c.genericBlock(&bi)
+	c.blocks[pc] = c.runtimeBlock(&bi)
 	return &c.blocks[pc]
 }

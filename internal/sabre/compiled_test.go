@@ -14,6 +14,7 @@ var blockKindNames = [numBlockKinds]string{
 	blockGeneric: "generic",
 	blockRegion:  "region",
 	blockHand:    "hand",
+	blockRuntime: "runtime",
 }
 
 // runCompiledKalman executes one full Kalman update on a compiled-engine

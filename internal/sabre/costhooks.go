@@ -1,0 +1,41 @@
+package sabre
+
+import "boresight/internal/softfloat"
+
+// This file exports the intrinsic mirrors' dynamic cost model through
+// internal/softfloat's cost-hook registry: each hook runs the full
+// mirror on a scratch machine and reports the result bits plus the
+// exact cycle/instret cost the emulated routine would spend on the
+// core. Queries are exact by construction — the same code path the
+// compiled engine charges is the one evaluated — and cheap enough for
+// tooling (one small allocation per query; nothing here is on an
+// execution hot path).
+
+// costQuery wraps one intrinsic handler as a softfloat.CostFunc.
+func costQuery(h intrinHandler) softfloat.CostFunc {
+	return func(a, b uint32) (res, cycles, instret uint32) {
+		c := New()
+		st := &cst{r: &c.R, data: (*[DataBytes]byte)(c.Data), stop: 1 << 62}
+		c.R[1], c.R[2], c.R[14] = a, b, DataBytes/2
+		cyc, ins, ok := h(c, st, 0, 0, 4, 0)
+		if !ok {
+			// Unreachable: the stop mark covers any routine cost and the
+			// scratch sp satisfies the eligibility guard.
+			return 0, 0, 0
+		}
+		return c.R[1], uint32(cyc), uint32(ins)
+	}
+}
+
+func init() {
+	softfloat.RegisterCost("f32_add", costQuery(tryIntrinF32Add))
+	softfloat.RegisterCost("f32_sub", costQuery(tryIntrinF32Sub))
+	softfloat.RegisterCost("f32_mul", costQuery(tryIntrinF32Mul))
+	softfloat.RegisterCost("f32_div", costQuery(tryIntrinF32Div))
+	softfloat.RegisterCost("f32_sqrt", costQuery(tryIntrinF32Sqrt))
+	softfloat.RegisterCost("f32_from_i32", costQuery(tryIntrinF32FromI32))
+	softfloat.RegisterCost("f32_to_i32", costQuery(tryIntrinF32ToI32))
+	softfloat.RegisterCost("f32_cmp_eq", costQuery(tryIntrinF32Eq))
+	softfloat.RegisterCost("f32_cmp_lt", costQuery(tryIntrinF32Lt))
+	softfloat.RegisterCost("f32_cmp_le", costQuery(tryIntrinF32Le))
+}

@@ -1,0 +1,46 @@
+package sabre
+
+import (
+	"testing"
+
+	"boresight/internal/softfloat"
+)
+
+// TestCostHooks holds the contract of the cost hooks this package
+// registers with internal/softfloat: every intrinsic routine has one,
+// unknown names report ok=false, and for the full curated operand
+// corpus each hook's result bits and cycle/instret cost equal those of
+// the emulated assembly routine run on the reference engine.
+func TestCostHooks(t *testing.T) {
+	cases := intrinCases()
+	if got := softfloat.CostRoutines(); len(got) != len(cases) {
+		t.Fatalf("registered cost hooks %v, want %d routines", got, len(cases))
+	}
+	if _, _, _, ok := softfloat.Cost("f64_add", 0, 0); ok {
+		t.Fatalf("Cost reported ok for an unregistered routine")
+	}
+	const sp = uint32(DataBytes / 2)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.sym, func(t *testing.T) {
+			words, _ := intrinProgram(t, tc.sym, tc.cmpLib)
+			for i, a := range intrinOperands {
+				b := uint32(0xB0B0B0B0)
+				if !tc.unary {
+					b = intrinOperands[(i*7+3)%len(intrinOperands)]
+				}
+				res, cyc, ins, ok := softfloat.Cost(tc.sym, a, b)
+				if !ok {
+					t.Fatalf("%s: no cost hook", tc.sym)
+				}
+				ref := runIntrinRef(t, words, a, b, sp)
+				// The reference outcome includes the final halt (1 cycle,
+				// 1 instruction); the hook reports the call alone.
+				if res != ref.regs[1] || uint64(cyc) != ref.cycles-1 || uint64(ins) != ref.instret-1 {
+					t.Fatalf("%s(a=%08x b=%08x): hook res %08x cost %d/%d, ref res %08x cost %d/%d",
+						tc.sym, a, b, res, cyc, ins, ref.regs[1], ref.cycles-1, ref.instret-1)
+				}
+			}
+		})
+	}
+}

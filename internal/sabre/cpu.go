@@ -95,6 +95,14 @@ type CPU struct {
 	blocks      []compiledBlock
 	blocksValid bool
 	cstats      *CompiledStats
+	// sfArith/sfCmp are the word offsets of the canonical SoftFloat
+	// blobs in the loaded program (-1 when absent). The runtime region
+	// generator (regiongen.go) uses them to lower recognised JAL call
+	// targets to the native intrinsic mirrors. They depend only on
+	// program memory, so they are scanned for once per LoadProgram
+	// (sfBlobsValid), not on every translation-table rebuild.
+	sfArith, sfCmp int32
+	sfBlobsValid   bool
 	// cstate is RunCompiled's dispatch state; it lives on the CPU
 	// because block closures take its address, which would force a
 	// heap allocation per run if it were a local.
@@ -144,6 +152,7 @@ func (c *CPU) LoadProgram(words []uint32) error {
 	// the outgoing program and must never survive it independently.
 	c.decValid = false
 	c.blocksValid = false
+	c.sfBlobsValid = false
 	c.Reset()
 	return nil
 }

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"flag"
 	"fmt"
 	"math"
+	"os"
 	"testing"
 
 	"boresight/internal/fxcore"
@@ -19,8 +21,28 @@ import (
 // run the same program on all three engines and compare everything
 // observable.
 
-// nonRefEngines are the engines held to parity with EngineRef.
+// nonRefEngines are the engines held to parity with EngineRef. The
+// -engine flag narrows the suite to a single engine under test — CI's
+// sabre-native-parity step runs the whole differential suite with
+// -engine=compiled under the race detector.
 var nonRefEngines = []Engine{EngineFast, EngineCompiled}
+
+var engineFlag = flag.String("engine", "", `restrict the parity suite to one engine ("fast" or "compiled")`)
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	switch *engineFlag {
+	case "":
+	case "fast":
+		nonRefEngines = []Engine{EngineFast}
+	case "compiled":
+		nonRefEngines = []Engine{EngineCompiled}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -engine %q\n", *engineFlag)
+		os.Exit(2)
+	}
+	os.Exit(m.Run())
+}
 
 // periphEvent is one bus access observed by the trace peripheral.
 type periphEvent struct {
@@ -391,6 +413,49 @@ func TestEngineParityKalmanBudgetSweep(t *testing.T) {
 	}
 	for budget := full.cycles - 16; budget <= full.cycles+8; budget++ {
 		check(budget)
+	}
+}
+
+// TestEngineParityKalmanEveryBudget sweeps EVERY cycle budget across
+// one full softfloat Kalman update on all three engines. Each budget
+// lands the expiry at a different instruction — including inside every
+// SoftFloat call the compiled engine lowers to an intrinsic mirror —
+// pinning the no-partial-intrinsic rule: a mirror either covers its
+// whole dynamic cost or declines before touching anything, so budget
+// handoff always happens at an instruction boundary with state the
+// reference engine can reproduce exactly.
+func TestEngineParityKalmanEveryBudget(t *testing.T) {
+	prog, err := KalmanProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := []float32{4.125}
+	setup := func(c *CPU) { SetKalmanInputs(c, 1e-4, 0.04, 1, 0, z) }
+	full, err := runOneEngine(EngineRef, prog.Words, KalmanRunBudget(len(z)), setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.halted {
+		t.Fatalf("full run did not halt: %q", full.errStr)
+	}
+	step := uint64(1)
+	if testing.Short() {
+		step = 13
+	}
+	for budget := uint64(0); budget <= full.cycles+8; budget += step {
+		ref, err := runOneEngine(EngineRef, prog.Words, budget, setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range nonRefEngines {
+			got, err := runOneEngine(eng, prog.Words, budget, setup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := diffOutcomes(ref, got); d != "" {
+				t.Fatalf("budget %d, engine %v: %s", budget, eng, d)
+			}
+		}
 	}
 }
 

@@ -545,6 +545,9 @@ type FxBoresightResult struct {
 	TotalCycles     uint64
 	Instructions    uint64
 	WallSeconds     float64 // host wall-clock time inside Run
+	// Compiled holds the dispatch and intrinsic statistics when the run
+	// used the compiled engine (nil otherwise).
+	Compiled *CompiledStats
 }
 
 // FxBoresightInput is one fusion epoch's data (SI units; quantised to
@@ -629,6 +632,11 @@ func RunFxBoresightEngine(engine Engine, cfg fxcore.Config, dt float64, inputs [
 		return nil, err
 	}
 	LoadFxBoresightInputs(c, cfg, dt, inputs)
+	var cs *CompiledStats
+	if engine == EngineCompiled {
+		cs = &CompiledStats{}
+		c.CollectCompiledStats(cs)
+	}
 	t0 := time.Now()
 	if _, err := c.Run(FxBoresightRunBudget(len(inputs))); err != nil {
 		return nil, fmt.Errorf("sabre: fx boresight program: %w", err)
@@ -638,6 +646,7 @@ func RunFxBoresightEngine(engine Engine, cfg fxcore.Config, dt float64, inputs [
 		TotalCycles:  c.Cycles,
 		Instructions: c.Instret,
 		WallSeconds:  time.Since(t0).Seconds(),
+		Compiled:     cs,
 	}
 	for i := range inputs {
 		base := uint32(fxbOut + 12*i)

@@ -1,0 +1,460 @@
+package sabre
+
+import "encoding/binary"
+
+// Mirrors for f32_from_i32, f32_to_i32 and the compare routines.
+
+// tryIntrinF32FromI32 mirrors `call f32_from_i32`. The zero and
+// INT32_MIN fast paths touch no memory; the general path tail-jumps
+// through sf_normroundpack into sf_roundpack, whose frame overwrites
+// the normroundpack frame and lands at [sp-16..sp-4].
+func tryIntrinF32FromI32(c *CPU, st *cst, cyc, ins uint64, ra, lb uint32) (uint64, uint64, bool) {
+	r := st.r
+	a := r[1]
+	if a == 0 {
+		if st.stop-cyc <= 5 {
+			return 0, 0, false
+		}
+		r[15] = ra
+		if c.cstats != nil {
+			c.cstats.IntrinsicCalls++
+			c.cstats.IntrinsicInstret += 3
+		}
+		return cyc + 5, ins + 3, true
+	}
+	if a == 0x80000000 {
+		if st.stop-cyc <= 11 {
+			return 0, 0, false
+		}
+		r[1], r[5], r[15] = 0xCF000000, 0x80000000, ra
+		if c.cstats != nil {
+			c.cstats.IntrinsicCalls++
+			c.cstats.IntrinsicInstret += 8
+		}
+		return cyc + 11, ins + 8, true
+	}
+	sp := r[14]
+	if sp&3 != 0 || sp < 64 || sp > DataBytes {
+		return 0, 0, false
+	}
+	var m mOut
+	ncyc, nins := uint32(2+2+2+2+1), uint32(1+1+2+1+1)
+	var sgn uint32
+	abs := a
+	if int32(a) < 0 {
+		sgn = 1
+		abs = -a
+		ncyc += 2
+		nins += 2
+	} else {
+		ncyc += 2
+		nins++
+	}
+	m.cyc, m.ins = m.normRoundPack(sgn, 156, abs, ra, r[10], r[11], r[12], ncyc+3+2, nins+3+1)
+	if st.stop-cyc <= uint64(m.cyc) {
+		return 0, 0, false
+	}
+	data := st.data
+	binary.LittleEndian.PutUint32(data[sp-16:], ra)
+	binary.LittleEndian.PutUint32(data[sp-12:], r[10])
+	binary.LittleEndian.PutUint32(data[sp-8:], r[11])
+	binary.LittleEndian.PutUint32(data[sp-4:], r[12])
+	r[1], r[2], r[3] = m.res, m.a1, m.a2
+	r[5], r[6], r[7] = m.t0, m.t1, m.t2
+	r[15] = ra
+	if c.cstats != nil {
+		c.cstats.IntrinsicCalls++
+		c.cstats.IntrinsicInstret += uint64(m.ins)
+	}
+	return cyc + uint64(m.cyc), ins + uint64(m.ins), true
+}
+
+// mToI32 mirrors f32_to_i32 (round-to-nearest-even, saturating).
+// Touches registers only.
+func mToI32(m *mOut, a, t4c uint32) {
+	frac0 := a & 0x7FFFFF
+	exp := (a >> 23) & 255
+	sgn := a >> 31
+	m.t0, m.t1, m.t2, m.t3, m.t4 = 255, frac0, exp, sgn, t4c
+	m.cyc, m.ins = 2+7, 1+7
+	if exp == 255 && frac0 != 0 { // NaN
+		m.res = 0x80000000
+		m.cyc += 1 + 2 + 2 + 2
+		m.ins += 1 + 1 + 2 + 1
+		return
+	}
+	if exp == 255 {
+		m.cyc += 2
+		m.ins += 2
+	} else {
+		m.cyc += 2
+		m.ins++
+	}
+	frac := frac0
+	if exp == 0 {
+		m.cyc += 2
+		m.ins++
+	} else {
+		frac |= 0x800000
+		m.t1 = frac
+		m.cyc += 4
+		m.ins += 4
+	}
+	sh := exp - 150
+	m.t4 = sh
+	m.t0 = 8
+	m.cyc += 2
+	m.ins += 2
+	if int32(sh) >= 8 { // magnitude >= 2^31
+		m.t0 = 0xCF000000
+		m.cyc += 3
+		m.ins += 3
+		switch {
+		case a == 0xCF000000:
+			m.res = 0x80000000
+			m.cyc += 2 + 4
+			m.ins += 1 + 3
+		case sgn != 0:
+			m.res = 0x80000000
+			m.cyc += 3 + 4
+			m.ins += 2 + 3
+		default:
+			m.res = 0x7FFFFFFF
+			m.cyc += 2 + 4
+			m.ins += 2 + 3
+		}
+		return
+	}
+	m.cyc += 2
+	m.ins++
+	var t1v uint32
+	if int32(sh) >= 0 {
+		t1v = frac << (sh & 31)
+		m.t1 = t1v
+		m.cyc += 4
+		m.ins += 3
+	} else {
+		m.cyc += 2
+		m.ins++
+		nsh := -sh
+		m.t4 = nsh
+		m.t0 = 32
+		m.cyc += 2
+		m.ins += 2
+		if nsh >= 32 { // |x| < 0.5 truncates to +0, direct return
+			m.res = 0
+			m.t1 = frac
+			m.cyc += 4
+			m.ins += 3
+			return
+		}
+		m.cyc += 2
+		m.ins++
+		t0v := frac >> nsh
+		rem := frac << (32 - nsh)
+		m.t2 = 0x80000000
+		m.cyc += 6
+		m.ins += 6
+		switch {
+		case rem > 0x80000000:
+			t0v++
+			m.cyc += 2 + 1
+			m.ins += 1 + 1
+		case rem != 0x80000000:
+			m.cyc += 3
+			m.ins += 2
+		default: // tie: round to even
+			m.cyc += 3
+			m.ins += 3
+			if t0v&1 == 0 {
+				m.cyc += 2
+				m.ins++
+			} else {
+				t0v++
+				m.cyc += 2
+				m.ins += 2
+			}
+		}
+		t1v = t0v
+		m.t0 = t0v
+		m.cyc++
+		m.ins++
+	}
+	if sgn == 0 {
+		m.cyc += 2
+		m.ins++
+	} else {
+		t1v = -t1v
+		m.cyc += 2
+		m.ins += 2
+	}
+	m.t1 = t1v
+	m.res = t1v
+	m.cyc += 3
+	m.ins += 2
+}
+
+func tryIntrinF32ToI32(c *CPU, st *cst, cyc, ins uint64, ra, lb uint32) (uint64, uint64, bool) {
+	r := st.r
+	var m mOut
+	mToI32(&m, r[1], r[9])
+	if st.stop-cyc <= uint64(m.cyc) {
+		return 0, 0, false
+	}
+	r[1] = m.res
+	r[5], r[6], r[7], r[8], r[9] = m.t0, m.t1, m.t2, m.t3, m.t4
+	r[15] = ra
+	if c.cstats != nil {
+		c.cstats.IntrinsicCalls++
+		c.cstats.IntrinsicInstret += uint64(m.ins)
+	}
+	return cyc + uint64(m.cyc), ins + uint64(m.ins), true
+}
+
+// mCmpPrep mirrors sf_cmp_prep: NaN detection plus the scratch state
+// it leaves (t1/t2 hold the last examined operand's frac/exp).
+func mCmpPrep(m *mOut, a, b uint32) uint32 {
+	m.t0, m.t3, m.t4 = 0x7FFFFF, 255, 0
+	af := a & 0x7FFFFF
+	ae := (a >> 23) & 255
+	m.t1, m.t2 = af, ae
+	m.cyc += 7
+	m.ins += 7
+	if ae == 255 && af != 0 {
+		m.t4 = 1
+		m.cyc += 5
+		m.ins += 4
+		return 1
+	}
+	if ae == 255 {
+		m.cyc += 3
+		m.ins += 2
+	} else {
+		m.cyc += 2
+		m.ins++
+	}
+	bf := b & 0x7FFFFF
+	be := (b >> 23) & 255
+	m.t1, m.t2 = bf, be
+	m.cyc += 3
+	m.ins += 3
+	if be == 255 && bf != 0 {
+		m.t4 = 1
+		m.cyc += 5
+		m.ins += 4
+		return 1
+	}
+	if be == 255 {
+		m.cyc += 3
+		m.ins += 2
+	} else {
+		m.cyc += 2
+		m.ins++
+	}
+	m.cyc += 2
+	m.ins++
+	return 0
+}
+
+// commitCmp applies a compare mirror: one pushed link word, the
+// scratch registers, result in a0.
+func commitCmp(c *CPU, st *cst, m *mOut, cyc, ins uint64, ra, sp uint32) (uint64, uint64, bool) {
+	if st.stop-cyc <= uint64(m.cyc) {
+		return 0, 0, false
+	}
+	r := st.r
+	binary.LittleEndian.PutUint32(st.data[sp-4:], ra)
+	r[1] = m.res
+	r[5], r[6], r[7], r[8], r[9] = m.t0, m.t1, m.t2, m.t3, m.t4
+	r[15] = ra
+	if c.cstats != nil {
+		c.cstats.IntrinsicCalls++
+		c.cstats.IntrinsicInstret += uint64(m.ins)
+	}
+	return cyc + uint64(m.cyc), ins + uint64(m.ins), true
+}
+
+func tryIntrinF32Eq(c *CPU, st *cst, cyc, ins uint64, ra, lb uint32) (uint64, uint64, bool) {
+	r := st.r
+	sp := r[14]
+	if sp&3 != 0 || sp < 64 || sp > DataBytes {
+		return 0, 0, false
+	}
+	a, b := r[1], r[2]
+	var m mOut
+	m.cyc, m.ins = 2+2+2, 1+2+1
+	nan := mCmpPrep(&m, a, b)
+	m.cyc += 3
+	m.ins += 2
+	switch {
+	case nan != 0:
+		m.res = 0
+		m.cyc += 5
+		m.ins += 3
+	case a == b:
+		m.res = 1
+		m.cyc += 6
+		m.ins += 4
+	default:
+		t0 := (a | b) << 1
+		m.t0 = t0
+		m.cyc += 4
+		m.ins += 4
+		if t0 == 0 { // +0 == -0
+			m.res = 1
+			m.cyc += 5
+			m.ins += 3
+		} else {
+			m.res = 0
+			m.cyc += 4
+			m.ins += 3
+		}
+	}
+	return commitCmp(c, st, &m, cyc, ins, ra, sp)
+}
+
+func tryIntrinF32Lt(c *CPU, st *cst, cyc, ins uint64, ra, lb uint32) (uint64, uint64, bool) {
+	r := st.r
+	sp := r[14]
+	if sp&3 != 0 || sp < 64 || sp > DataBytes {
+		return 0, 0, false
+	}
+	a, b := r[1], r[2]
+	var m mOut
+	m.cyc, m.ins = 2+2+2, 1+2+1
+	nan := mCmpPrep(&m, a, b)
+	m.cyc += 3
+	m.ins += 2
+	if nan != 0 {
+		m.res = 0
+		m.cyc += 5
+		m.ins += 3
+		return commitCmp(c, st, &m, cyc, ins, ra, sp)
+	}
+	sa, sb := a>>31, b>>31
+	m.t0, m.t1 = sa, sb
+	m.cyc += 3
+	m.ins += 3
+	switch {
+	case sa != sb:
+		m.cyc += 2
+		m.ins++
+		if sa == 0 { // a >= +0 > b
+			m.res = 0
+			m.cyc += 5
+			m.ins += 3
+		} else {
+			t2 := (a | b) << 1
+			m.t2 = t2
+			m.cyc += 3
+			m.ins += 3
+			if t2 == 0 { // -0 < +0 is false
+				m.res = 0
+				m.cyc += 5
+				m.ins += 3
+			} else {
+				m.res = 1
+				m.cyc += 4
+				m.ins += 3
+			}
+		}
+	case sa == 0: // both positive
+		m.cyc += 3
+		m.ins += 2
+		if a < b {
+			m.res = 1
+			m.cyc += 5
+			m.ins += 3
+		} else {
+			m.res = 0
+			m.cyc += 6
+			m.ins += 4
+		}
+	default: // both negative
+		m.cyc += 2
+		m.ins += 2
+		if b < a {
+			m.res = 1
+			m.cyc += 5
+			m.ins += 3
+		} else {
+			m.res = 0
+			m.cyc += 6
+			m.ins += 4
+		}
+	}
+	return commitCmp(c, st, &m, cyc, ins, ra, sp)
+}
+
+func tryIntrinF32Le(c *CPU, st *cst, cyc, ins uint64, ra, lb uint32) (uint64, uint64, bool) {
+	r := st.r
+	sp := r[14]
+	if sp&3 != 0 || sp < 64 || sp > DataBytes {
+		return 0, 0, false
+	}
+	a, b := r[1], r[2]
+	var m mOut
+	m.cyc, m.ins = 2+2+2, 1+2+1
+	nan := mCmpPrep(&m, a, b)
+	m.cyc += 3
+	m.ins += 2
+	if nan != 0 {
+		m.res = 0
+		m.cyc += 5
+		m.ins += 3
+		return commitCmp(c, st, &m, cyc, ins, ra, sp)
+	}
+	sa, sb := a>>31, b>>31
+	m.t0, m.t1 = sa, sb
+	m.cyc += 3
+	m.ins += 3
+	switch {
+	case sa != sb:
+		m.cyc += 2
+		m.ins++
+		if sa != 0 { // a <= -0 <= b
+			m.res = 1
+			m.cyc += 5
+			m.ins += 3
+		} else {
+			t2 := (a | b) << 1
+			m.t2 = t2
+			m.cyc += 3
+			m.ins += 3
+			if t2 == 0 { // +0 <= -0
+				m.res = 1
+				m.cyc += 5
+				m.ins += 3
+			} else {
+				m.res = 0
+				m.cyc += 4
+				m.ins += 3
+			}
+		}
+	case sa == 0: // both positive
+		m.cyc += 3
+		m.ins += 2
+		if b >= a {
+			m.res = 1
+			m.cyc += 5
+			m.ins += 3
+		} else {
+			m.res = 0
+			m.cyc += 6
+			m.ins += 4
+		}
+	default: // both negative
+		m.cyc += 2
+		m.ins += 2
+		if a >= b {
+			m.res = 1
+			m.cyc += 5
+			m.ins += 3
+		} else {
+			m.res = 0
+			m.cyc += 6
+			m.ins += 4
+		}
+	}
+	return commitCmp(c, st, &m, cyc, ins, ra, sp)
+}

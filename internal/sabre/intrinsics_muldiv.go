@@ -1,0 +1,399 @@
+package sabre
+
+import "math/bits"
+
+// Mirrors for f32_mul, f32_div and f32_sqrt. Same contract as the
+// add/sub mirrors in intrinsics.go: every branch outcome charges the
+// exact cycle/instret increments the emulated routine would have, and
+// every scratch register and stack word matches the reference engine.
+
+// mulInf mirrors the shared mul_inf/div_inf exit: signed infinity.
+func (m *mOut) mulInf(sign, cyc, ins uint32) (uint32, uint32) {
+	m.res = sign<<31 | 0x7F800000
+	m.t0 = 0x7F800000
+	return cyc + 6, ins + 5
+}
+
+// mMul mirrors f32_mul including the initiating call.
+func mMul(m *mOut, a, b, lb uint32) {
+	sign := (a >> 31) ^ (b >> 31)
+	s0 := a & 0x7FFFFF
+	s1 := b & 0x7FFFFF
+	t2 := (a >> 23) & 255
+	t3 := (b >> 23) & 255
+	m.a1, m.a2 = b, sign
+	m.t0, m.t1 = a>>31, b>>31
+	m.t2, m.t3, m.t4 = t2, t3, 255
+	cyc, ins := uint32(2+17), uint32(1+17)
+	if t2 == 255 {
+		cyc++
+		ins++
+		if s0 != 0 { // a NaN
+			cyc, ins = m.propNaN(a, b, cyc+2, ins+1)
+			m.fin16(cyc, ins)
+			return
+		}
+		cyc++
+		ins++
+		if t3 != 255 { // Inf * finite
+			cyc += 2 + 1
+			ins += 1 + 1
+			t0 := t3 | s1
+			m.t0 = t0
+			if t0 != 0 {
+				cyc, ins = m.mulInf(sign, cyc+2, ins+1)
+			} else { // Inf * 0 -> NaN
+				m.res = 0x7FC00000
+				cyc += 5
+				ins += 4
+			}
+			m.fin16(cyc, ins)
+			return
+		}
+		cyc++
+		ins++
+		if s1 != 0 { // b NaN
+			cyc, ins = m.propNaN(a, b, cyc+2, ins+1)
+		} else { // Inf * Inf
+			cyc, ins = m.mulInf(sign, cyc+3, ins+2)
+		}
+		m.fin16(cyc, ins)
+		return
+	}
+	cyc += 2
+	ins++
+	if t3 == 255 {
+		cyc++
+		ins++
+		if s1 != 0 { // b NaN
+			cyc, ins = m.propNaN(a, b, cyc+2, ins+1)
+			m.fin16(cyc, ins)
+			return
+		}
+		t0 := t2 | s0
+		m.t0 = t0
+		cyc += 2
+		ins += 2
+		if t0 != 0 { // finite * Inf
+			cyc, ins = m.mulInf(sign, cyc+2, ins+1)
+		} else { // 0 * Inf -> NaN
+			m.res = 0x7FC00000
+			cyc += 5
+			ins += 4
+		}
+		m.fin16(cyc, ins)
+		return
+	}
+	cyc += 2
+	ins++
+	if t2 == 0 {
+		cyc++
+		ins++
+		if s0 == 0 { // a == 0
+			m.res = sign << 31
+			m.fin16(cyc+4, ins+3)
+			return
+		}
+		cyc += 2
+		ins++
+		cnt, _, ct1, cc, ci := mClz(s0, m.t0, m.t1)
+		m.t0, m.t1 = cnt-8, ct1
+		t2 = 1 - (cnt - 8)
+		m.t2 = t2
+		s0 <<= (cnt - 8) & 31
+		cyc += 1 + 2 + cc + 4
+		ins += 1 + 1 + ci + 4
+	} else {
+		cyc += 2
+		ins++
+	}
+	if t3 == 0 {
+		cyc++
+		ins++
+		if s1 == 0 { // b == 0
+			m.res = sign << 31
+			m.fin16(cyc+4, ins+3)
+			return
+		}
+		cyc += 2
+		ins++
+		cnt, _, ct1, cc, ci := mClz(s1, m.t0, m.t1)
+		m.t0, m.t1 = cnt-8, ct1
+		t3 = 1 - (cnt - 8)
+		m.t3 = t3
+		s1 <<= (cnt - 8) & 31
+		cyc += 1 + 2 + cc + 4
+		ins += 1 + 1 + ci + 4
+	} else {
+		cyc += 2
+		ins++
+	}
+	zExp := t2 + t3 - 127
+	s0 = (s0 | 0x800000) << 7
+	s1 = (s1 | 0x800000) << 8
+	cyc += 8 + 4 + 4
+	ins += 8 + 1 + 1
+	p := uint64(s0) * uint64(s1)
+	hi, lo := uint32(p>>32), uint32(p)
+	m.t1 = lo
+	if lo == 0 {
+		cyc += 2
+		ins++
+	} else {
+		hi |= 1
+		cyc += 2
+		ins += 2
+	}
+	t1v := hi << 1
+	m.t1 = t1v
+	zSig := hi
+	cyc++
+	ins++
+	if int32(t1v) < 0 {
+		cyc += 2
+		ins++
+	} else {
+		zSig = t1v
+		zExp--
+		cyc += 3
+		ins += 3
+	}
+	m.a2 = zSig
+	m.rpRA = (lb + sfOff.retRPMul) * 4
+	m.rpS0, m.rpS1, m.rpS2 = s0, s1, zExp
+	if m.rpFast(sign, zExp, zSig, t2) {
+		m.fin16(cyc+5+36+2, ins+4+27+1)
+		return
+	}
+	res, a1o, rt0, rt1, rt2, rc, ri := mRoundPack(sign, zExp, zSig, t1v, t2)
+	m.res, m.a1, m.t0, m.t1, m.t2 = res, a1o, rt0, rt1, rt2
+	m.fin16(cyc+5+rc+2, ins+4+ri+1)
+}
+
+func tryIntrinF32Mul(c *CPU, st *cst, cyc, ins uint64, ra, lb uint32) (uint64, uint64, bool) {
+	sp := st.r[14]
+	if sp&3 != 0 || sp < 64 || sp > DataBytes {
+		return 0, 0, false
+	}
+	m := &st.sf
+	m.rpRA = 0
+	mMul(m, st.r[1], st.r[2], lb)
+	return commit16(c, st, m, cyc, ins, ra, sp)
+}
+
+// mDiv mirrors f32_div including the initiating call.
+func mDiv(m *mOut, a, b, lb uint32) {
+	sign := (a >> 31) ^ (b >> 31)
+	s0 := a & 0x7FFFFF
+	s1 := b & 0x7FFFFF
+	t2 := (a >> 23) & 255
+	t3 := (b >> 23) & 255
+	t1cur := b >> 31
+	m.a1, m.a2 = b, sign
+	m.t0, m.t1 = a>>31, t1cur
+	m.t2, m.t3, m.t4 = t2, t3, 255
+	cyc, ins := uint32(2+17), uint32(1+17)
+	if t2 == 255 {
+		cyc++
+		ins++
+		if s0 != 0 { // a NaN
+			cyc, ins = m.propNaN(a, b, cyc+2, ins+1)
+			m.fin16(cyc, ins)
+			return
+		}
+		cyc++
+		ins++
+		if t3 != 255 { // Inf / finite
+			cyc, ins = m.mulInf(sign, cyc+2, ins+1)
+			m.fin16(cyc, ins)
+			return
+		}
+		cyc++
+		ins++
+		if s1 != 0 { // b NaN
+			cyc, ins = m.propNaN(a, b, cyc+2, ins+1)
+		} else { // Inf / Inf -> NaN
+			m.res = 0x7FC00000
+			cyc += 5
+			ins += 4
+		}
+		m.fin16(cyc, ins)
+		return
+	}
+	cyc += 2
+	ins++
+	if t3 == 255 {
+		cyc++
+		ins++
+		if s1 != 0 { // b NaN
+			cyc, ins = m.propNaN(a, b, cyc+2, ins+1)
+		} else { // finite / Inf -> signed zero
+			m.res = sign << 31
+			cyc += 4
+			ins += 3
+		}
+		m.fin16(cyc, ins)
+		return
+	}
+	cyc += 2
+	ins++
+	if t3 == 0 {
+		cyc++
+		ins++
+		if s1 == 0 { // b == 0
+			t0 := t2 | s0
+			m.t0 = t0
+			cyc += 2
+			ins += 2
+			if t0 != 0 { // x / 0 -> Inf
+				cyc, ins = m.mulInf(sign, cyc+2, ins+1)
+			} else { // 0 / 0 -> NaN
+				m.res = 0x7FC00000
+				cyc += 5
+				ins += 4
+			}
+			m.fin16(cyc, ins)
+			return
+		}
+		cyc += 2
+		ins++
+		cnt, _, ct1, cc, ci := mClz(s1, m.t0, t1cur)
+		m.t0, m.t1 = cnt-8, ct1
+		t1cur = ct1
+		t3 = 1 - (cnt - 8)
+		m.t3 = t3
+		s1 <<= (cnt - 8) & 31
+		cyc += 1 + 2 + cc + 4
+		ins += 1 + 1 + ci + 4
+	} else {
+		cyc += 2
+		ins++
+	}
+	if t2 == 0 {
+		cyc++
+		ins++
+		if s0 == 0 { // 0 / finite
+			m.res = sign << 31
+			m.fin16(cyc+4, ins+3)
+			return
+		}
+		cyc += 2
+		ins++
+		cnt, _, ct1, cc, ci := mClz(s0, m.t0, t1cur)
+		m.t0, m.t1 = cnt-8, ct1
+		t1cur = ct1
+		t2 = 1 - (cnt - 8)
+		m.t2 = t2
+		s0 <<= (cnt - 8) & 31
+		cyc += 1 + 2 + cc + 4
+		ins += 1 + 1 + ci + 4
+	} else {
+		cyc += 2
+		ins++
+	}
+	zExp := t2 - t3 + 125
+	s0 = (s0 | 0x800000) << 7
+	s1 = (s1 | 0x800000) << 8
+	t0v := s0 + s0
+	m.t0 = t0v
+	cyc += 8 + 1
+	ins += 8 + 1
+	if s1 < t0v {
+		s0 >>= 1
+		zExp++
+		cyc += 2 + 2
+		ins += 1 + 2
+	} else if s1 == t0v {
+		s0 >>= 1
+		zExp++
+		cyc += 3 + 2
+		ins += 2 + 2
+	} else {
+		cyc += 4
+		ins += 3
+	}
+	// Long division. The emulated routine runs 32 restoring steps; the
+	// quotient and final remainder are exactly the hardware division
+	// s0·2^32 / s1 (prescaling guarantees s0 < s1, so the quotient fits
+	// 32 bits and each step subtracts at most once). The cost model
+	// needs the per-step branch outcomes: step i takes the "hi" arm
+	// when the partial remainder r_i has bit 31 set, and produces a
+	// quotient bit when 2·r_i >= s1. With the quotient known, every
+	// r_i = s0·2^i − (q >> (32−i))·s1 is an independent expression, so
+	// the counts are reconstructed without a loop-carried chain.
+	cyc += 3
+	ins += 3
+	num := uint64(s0) << 32
+	d64 := uint64(s1)
+	// Divide via a float64 reciprocal estimate: float64(s0)·2^32 is
+	// exact (s0 < 2^31), so the one rounded operation is the division
+	// and the estimate is within ±1 of the true quotient. The integer
+	// correction below makes the result exact regardless, so this never
+	// depends on floating-point behaviour — it only replaces the much
+	// slower 64-bit hardware divide.
+	qe := uint64(float64(s0) * 4294967296.0 / float64(s1))
+	r := num - qe*d64
+	for int64(r) < 0 {
+		qe--
+		r += d64
+	}
+	for r >= d64 {
+		qe++
+		r -= d64
+	}
+	q := uint32(qe)
+	rem := uint32(r)
+	// With the quotient known, the partial remainders follow the
+	// multiply-free recurrence r_{i+1} = 2·r_i − b_i·s1 (b_i = bit
+	// 31−i of q), exact under mod-2^32 wrap because every true r_i
+	// fits 32 bits. Two bits per step keeps the loop-carried chain to
+	// a shift and a subtract per pair.
+	tab := [4]uint32{0, s1, s1 << 1, s1<<1 + s1}
+	qs := q
+	rr := s0
+	var n1a, n1b, lastHi uint32
+	for i := 0; i < 16; i++ {
+		r1 := (rr << 1) - (uint32(int32(qs)>>31) & s1)
+		lastHi = r1 >> 31
+		n1a += rr >> 31
+		n1b += lastHi
+		rr = (rr << 2) - tab[qs>>30]
+		qs <<= 2
+	}
+	n1 := n1a + n1b
+	n13 := uint32(bits.OnesCount32(q))
+	n2 := 32 - n13
+	cyc += 10*n13 + 9*n2 - 1
+	ins += 8*n13 + 7*n2 + (n13 - n1)
+	m.t0, m.t3, m.t4 = lastHi, rem, 0
+	if rem == 0 {
+		cyc += 2
+		ins++
+	} else {
+		q |= 1
+		cyc += 2
+		ins += 2
+	}
+	m.t2 = q
+	m.a2 = q
+	m.rpRA = (lb + sfOff.retRPDiv) * 4
+	m.rpS0, m.rpS1, m.rpS2 = s0, s1, zExp
+	if m.rpFast(sign, zExp, q, q) {
+		m.fin16(cyc+5+36+2, ins+4+27+1)
+		return
+	}
+	res, a1o, rt0, rt1, rt2, rc, ri := mRoundPack(sign, zExp, q, t1cur, q)
+	m.res, m.a1, m.t0, m.t1, m.t2 = res, a1o, rt0, rt1, rt2
+	m.fin16(cyc+5+rc+2, ins+4+ri+1)
+}
+
+func tryIntrinF32Div(c *CPU, st *cst, cyc, ins uint64, ra, lb uint32) (uint64, uint64, bool) {
+	sp := st.r[14]
+	if sp&3 != 0 || sp < 64 || sp > DataBytes {
+		return 0, 0, false
+	}
+	m := &st.sf
+	m.rpRA = 0
+	mDiv(m, st.r[1], st.r[2], lb)
+	return commit16(c, st, m, cyc, ins, ra, sp)
+}

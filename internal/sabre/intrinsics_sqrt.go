@@ -1,0 +1,205 @@
+package sabre
+
+import "encoding/binary"
+
+// mSqrt mirrors f32_sqrt including the initiating call. a3 is the
+// caller's live r4 (the routine writes it only on the long-division
+// path); a1/a2/t4 likewise thread through untouched on early exits.
+func mSqrt(m *mOut, a, a1c, a2c, t4c, lb uint32) (a3 uint32, a3Set bool) {
+	frac := a & 0x7FFFFF
+	exp := (a >> 23) & 255
+	sgn := a >> 31
+	m.a1, m.a2, m.t4 = a1c, a2c, t4c
+	m.t0, m.t1, m.t2, m.t3 = 255, frac, exp, sgn
+	cyc, ins := uint32(2+13), uint32(1+13)
+	if exp == 255 {
+		cyc++
+		ins++
+		if frac != 0 { // NaN
+			m.a1 = a
+			cyc, ins = m.propNaN(a, a, cyc+2+1, ins+1+1)
+			cyc += 2
+			ins++
+		} else if sgn != 0 { // sqrt(-Inf) -> NaN
+			m.res = 0x7FC00000
+			cyc += 3 + 4
+			ins += 2 + 3
+		} else { // sqrt(+Inf) = +Inf
+			m.res = a
+			cyc += 4
+			ins += 3
+		}
+		m.finSqrt(cyc, ins)
+		return 0, false
+	}
+	cyc += 2
+	ins++
+	if sgn != 0 {
+		cyc++
+		ins++
+		t0 := exp | frac
+		m.t0 = t0
+		cyc++
+		ins++
+		if t0 == 0 { // sqrt(-0) = -0
+			m.res = a
+			cyc += 2
+			ins++
+		} else { // sqrt(negative) -> NaN
+			m.res = 0x7FC00000
+			cyc += 5
+			ins += 4
+		}
+		m.finSqrt(cyc, ins)
+		return 0, false
+	}
+	cyc += 2
+	ins++
+	if exp == 0 {
+		cyc++
+		ins++
+		if frac == 0 { // sqrt(+0) = +0
+			m.res = 0
+			m.finSqrt(cyc+5, ins+3)
+			return 0, false
+		}
+		cyc++
+		ins++
+		m.a2 = frac
+		cnt, _, _, cc, ci := mClz(frac, 255, frac)
+		sh := cnt - 8
+		m.t0 = sh
+		exp = 1 - sh
+		m.t2 = exp
+		frac = frac << (sh & 31)
+		m.t1 = frac
+		cyc += 2 + 2 + cc + 4 + 2
+		ins += 2 + 1 + ci + 4 + 1
+	} else {
+		cyc += 2
+		ins++
+	}
+	frac |= 0x800000
+	e := exp - 127
+	zExp := uint32(int32(e)>>1) + 126
+	m.t4 = zExp
+	odd := e & 1
+	m.t0 = odd
+	cyc += 7
+	ins += 7
+	if odd == 0 {
+		cyc += 2
+		ins++
+	} else {
+		frac <<= 1
+		cyc += 2
+		ins += 2
+	}
+	m.t1 = frac
+	s0 := frac << 5
+	var s1, s2, remHi, remLo uint32
+	cyc += 6
+	ins += 6
+	var lastT1, lastT2 uint32
+	for i := 0; i < 32; i++ {
+		t0 := s0 >> 30
+		s0 = s0<<2 | s1>>30
+		s1 <<= 2
+		remHi = remHi<<2 | remLo>>30
+		remLo = remLo<<2 | t0
+		t1 := s2 >> 30
+		t2 := s2<<2 | 1
+		s2 <<= 1
+		lastT1, lastT2 = t1, t2
+		cyc += 14 + 3
+		ins += 14 + 2
+		sub := false
+		switch {
+		case remHi < t1:
+			cyc += 2
+			ins++
+		case remHi > t1:
+			cyc += 3
+			ins += 2
+			sub = true
+		case remLo < t2:
+			cyc += 4
+			ins += 3
+		default:
+			cyc += 3
+			ins += 3
+			sub = true
+		}
+		if sub {
+			var borrow uint32
+			if remLo < t2 {
+				borrow = 1
+			}
+			remLo -= t2
+			remHi -= t1 + borrow
+			s2 |= 1
+			cyc += 5
+			ins += 5
+		}
+	}
+	cyc-- // final back-branch untaken
+	t0 := remHi | remLo
+	m.t0, m.t1, m.t2, m.t3 = t0, lastT1, lastT2, remHi
+	cyc++
+	ins++
+	if t0 == 0 {
+		cyc += 2
+		ins++
+	} else {
+		s2 |= 1
+		cyc += 2
+		ins += 2
+	}
+	m.a2 = s2
+	cyc, ins = m.roundPack(0, zExp, s2, lastT1, lastT2, lb, sfOff.retRPSqrt, s0, s1, s2, cyc+3+2, ins+3+1)
+	m.finSqrt(cyc, ins)
+	return remLo, true
+}
+
+// finSqrt commits the final counters, accounting sq_ret (five lw + sp
+// restore + ret).
+func (m *mOut) finSqrt(cyc, ins uint32) {
+	m.cyc, m.ins = cyc+13, ins+7
+}
+
+func tryIntrinF32Sqrt(c *CPU, st *cst, cyc, ins uint64, ra, lb uint32) (uint64, uint64, bool) {
+	r := st.r
+	sp := r[14]
+	if sp&3 != 0 || sp < 64 || sp > DataBytes {
+		return 0, 0, false
+	}
+	m := &st.sf
+	m.rpRA = 0
+	a3, a3Set := mSqrt(m, r[1], r[2], r[3], r[9], lb)
+	if st.stop-cyc <= uint64(m.cyc) {
+		return 0, 0, false
+	}
+	data := st.data
+	binary.LittleEndian.PutUint32(data[sp-20:], ra)
+	binary.LittleEndian.PutUint32(data[sp-16:], r[10])
+	binary.LittleEndian.PutUint32(data[sp-12:], r[11])
+	binary.LittleEndian.PutUint32(data[sp-8:], r[12])
+	binary.LittleEndian.PutUint32(data[sp-4:], r[13])
+	if m.rpRA != 0 {
+		binary.LittleEndian.PutUint32(data[sp-36:], m.rpRA)
+		binary.LittleEndian.PutUint32(data[sp-32:], m.rpS0)
+		binary.LittleEndian.PutUint32(data[sp-28:], m.rpS1)
+		binary.LittleEndian.PutUint32(data[sp-24:], m.rpS2)
+	}
+	r[1], r[2], r[3] = m.res, m.a1, m.a2
+	if a3Set {
+		r[4] = a3
+	}
+	r[5], r[6], r[7], r[8], r[9] = m.t0, m.t1, m.t2, m.t3, m.t4
+	r[15] = ra
+	if c.cstats != nil {
+		c.cstats.IntrinsicCalls++
+		c.cstats.IntrinsicInstret += uint64(m.ins)
+	}
+	return cyc + uint64(m.cyc), ins + uint64(m.ins), true
+}

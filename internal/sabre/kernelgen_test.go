@@ -135,6 +135,46 @@ type unitRegion struct {
 	// over these offsets — sound because whole-unit leaders register with
 	// backOff == absolute offset, pinning the kernel to base 0.
 	retTargets []uint32
+	// intrins maps a JAL target offset to the native SoftFloat mirror
+	// that replaces the emulated routine body (whole units only, and
+	// only after the unit's library bytes verify against the canonical
+	// blobs).
+	intrins map[uint32]intrinSite
+}
+
+// intrinSite is one lowerable call target: the mirror's function name
+// and the word offset of the owning library blob within the unit.
+type intrinSite struct {
+	fn string
+	lb uint32
+}
+
+// intrinSitesFor verifies the unit embeds the canonical SoftFloat
+// blobs and, if so, maps every recognised routine entry to its mirror.
+func intrinSitesFor(u genUnit) map[uint32]intrinSite {
+	sites := map[uint32]intrinSite{}
+	ab, okA := u.syms["sf_shr_jam"]
+	okA = okA && matchBlob(u.words[:u.n], ab, sfOff.arith)
+	cb, okC := u.syms["sf_cmp_prep"]
+	okC = okC && matchBlob(u.words[:u.n], cb, sfOff.cmp)
+	for routine, fn := range intrinSyms {
+		t, ok := u.syms[routine]
+		if !ok {
+			continue
+		}
+		off, cmp, known := intrinEntryOffset(routine)
+		if !known {
+			continue
+		}
+		if cmp {
+			if okC && t == cb+off {
+				sites[t] = intrinSite{fn, cb}
+			}
+		} else if okA && t == ab+off {
+			sites[t] = intrinSite{fn, ab}
+		}
+	}
+	return sites
 }
 
 func analyzeUnit(u genUnit) []unitRegion {
@@ -211,6 +251,7 @@ func analyzeUnit(u genUnit) []unitRegion {
 			ur.leaders[l] = map[uint64]bool{blockKeyWords(u.words, l, &bi): true}
 		}
 		ur.retTargets = sortedU32(leadersAbs)
+		ur.intrins = intrinSitesFor(u)
 		return []unitRegion{ur}
 	}
 
@@ -278,6 +319,7 @@ type genRegion struct {
 	leaders    map[uint32]map[uint64]bool
 	btargets   map[uint32]bool
 	retTargets []uint32
+	intrins    map[uint32]intrinSite
 }
 
 func sigFingerprint(sig []uint64) string {
@@ -301,6 +343,7 @@ func mergeRegions(units []genUnit) []*genRegion {
 					leaders:    map[uint32]map[uint64]bool{},
 					btargets:   map[uint32]bool{},
 					retTargets: ur.retTargets,
+					intrins:    ur.intrins,
 				}
 				index[fp] = rg
 				regions = append(regions, rg)
@@ -710,6 +753,19 @@ func (g *regionEmit) termRec(d *decoded, off, cp, np uint32) (fallsThrough bool)
 		g.exit(e, cp+1, np+1, "stOK")
 		return false
 	case d.op == uint8(OpJAL):
+		if site, ok := g.rg.intrins[uint32(d.imm)]; ok && d.rd == 15 && off+1 < e {
+			// Recognised SoftFloat routine: try the native mirror, which
+			// commits the routine's exact dynamic cycle/instret cost and
+			// full architectural effect, then resume at the return point.
+			// The mirror declines (mutating nothing) when the remaining
+			// budget does not strictly cover its cost, so the emulated
+			// path below keeps budget expiry instruction-boundary exact.
+			g.f("if ncyc, nins, iok := %s(c, st, cycles+%d, instret+%d, (base+%d)*4, base+%d); iok {",
+				site.fn, cp, np, off+1, site.lb)
+			g.f("cycles, instret = ncyc, nins")
+			g.f("goto L%d", off+1)
+			g.f("}")
+		}
 		if d.rd != 0 {
 			g.f("%s = (base + %d) * 4", g.reg(d.rd), off+1)
 		}

@@ -80,6 +80,9 @@ type KalmanResult struct {
 	TotalCycles     uint64
 	Instructions    uint64
 	WallSeconds     float64 // host wall-clock time inside Run
+	// Compiled holds the dispatch and intrinsic statistics when the run
+	// used the compiled engine (nil otherwise).
+	Compiled *CompiledStats
 }
 
 // KalmanProgram assembles the SoftFloat Kalman program (kalmanMain plus
@@ -129,6 +132,11 @@ func RunKalmanEngine(engine Engine, q, r, p0, x0 float32, z []float32) (*KalmanR
 		return nil, err
 	}
 	SetKalmanInputs(c, q, r, p0, x0, z)
+	var cs *CompiledStats
+	if engine == EngineCompiled {
+		cs = &CompiledStats{}
+		c.CollectCompiledStats(cs)
+	}
 	t0 := time.Now()
 	if _, err := c.Run(KalmanRunBudget(len(z))); err != nil {
 		return nil, fmt.Errorf("sabre: kalman program: %w", err)
@@ -140,6 +148,7 @@ func RunKalmanEngine(engine Engine, q, r, p0, x0 float32, z []float32) (*KalmanR
 		TotalCycles:  c.Cycles,
 		Instructions: c.Instret,
 		WallSeconds:  wall,
+		Compiled:     cs,
 	}
 	for i := range res.Estimates {
 		res.Estimates[i] = math.Float32frombits(c.LoadWord(uint32(kalXOut + 4*i)))

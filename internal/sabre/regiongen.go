@@ -1,0 +1,304 @@
+package sabre
+
+import "encoding/binary"
+
+// This file is the runtime region generator of the compiled engine: the
+// translation tier between the ahead-of-time region kernels
+// (kernels_gen.go) and the generic per-block reference interpreter
+// (runcompiled.go). Programs assembled at runtime — mission profiles
+// composed on the fly, test programs, user code — have no generated
+// kernel to bind, but their blocks are still straight-line record runs
+// the translator has already scanned. runtimeBlock synthesises a
+// closure for such a block with the same conventions generated kernels
+// use:
+//
+//   - the body records are predecoded once, at translation time, into a
+//     private []decoded slice; execution walks that slice with the
+//     architectural counters in locals and no per-instruction budget
+//     checks (the dispatcher proves the remaining budget strictly
+//     exceeds the block's worst-case cost before calling in),
+//   - loads and stores take an in-RAM fast path and fall back to
+//     loadSlow/storeSlow/fault with the exact mid-block pc and
+//     pre-retirement counters the reference interpreter would show,
+//   - a JAL terminator whose target is a routine of a detected
+//     canonical SoftFloat blob is lowered to the native intrinsic
+//     mirror (intrinsics.go), exactly as generated kernels lower their
+//     known call sites; the mirror declines near the budget boundary
+//     and the ordinary call executes instead.
+//
+// Translation allocates (one record slice and one closure per block per
+// program load); steady-state execution does not.
+
+// findBlob scans program memory for blob and returns its word offset,
+// or -1 when the program does not contain it. Raw word equality is
+// exact because the blobs are position-independent (matchBlob).
+func findBlob(prog []uint32, blob []uint32) int32 {
+	if len(blob) == 0 || len(blob) > len(prog) {
+		return -1
+	}
+	w0 := blob[0]
+	last := uint32(len(prog) - len(blob))
+	for base := uint32(0); base <= last; base++ {
+		if prog[base] == w0 && matchBlob(prog, base, blob) {
+			return int32(base)
+		}
+	}
+	return -1
+}
+
+// intrinsicFor resolves a JAL target word index to the intrinsic mirror
+// of the SoftFloat routine it calls, against the blob offsets detected
+// by resetBlocks. Returns a nil handler when the target is not a
+// recognised routine entry.
+func (c *CPU) intrinsicFor(target uint32) (intrinHandler, uint32) {
+	if c.sfArith >= 0 && target >= uint32(c.sfArith) {
+		if h, ok := arithIntrins[target-uint32(c.sfArith)]; ok {
+			return h, uint32(c.sfArith)
+		}
+	}
+	if c.sfCmp >= 0 && target >= uint32(c.sfCmp) {
+		if h, ok := cmpIntrins[target-uint32(c.sfCmp)]; ok {
+			return h, uint32(c.sfCmp)
+		}
+	}
+	return nil, 0
+}
+
+// runtimeBlock synthesises a compiled-tier closure for a scanned block
+// the kernel registry does not recognise.
+func (c *CPU) runtimeBlock(bi *blockInfo) compiledBlock {
+	entry := bi.entry
+	n := bi.n
+	recs := make([]decoded, n)
+	for i := uint32(0); i < n; i++ {
+		predecodeWordInto(c.Prog[entry+i], entry+i, &recs[i])
+	}
+	term := bi.term
+	termOp := bi.termOp
+	tpc := entry + n // terminator pc (or first word past an open block)
+
+	var intrin intrinHandler
+	var intrinLB uint32
+	if termOp == uint8(OpJAL) && term.rd == 15 {
+		intrin, intrinLB = c.intrinsicFor(uint32(term.imm))
+	}
+
+	fn := func(c *CPU, st *cst) int {
+		r := st.r
+		data := st.data
+		cyc, ins := st.cycles, st.instret
+		for i := range recs {
+			d := &recs[i]
+			rd := d.rd
+			switch d.op {
+			case uint8(OpADD):
+				if rd != 0 {
+					r[rd] = r[d.rs1] + r[d.rs2]
+				}
+			case uint8(OpSUB):
+				if rd != 0 {
+					r[rd] = r[d.rs1] - r[d.rs2]
+				}
+			case uint8(OpAND):
+				if rd != 0 {
+					r[rd] = r[d.rs1] & r[d.rs2]
+				}
+			case uint8(OpOR):
+				if rd != 0 {
+					r[rd] = r[d.rs1] | r[d.rs2]
+				}
+			case uint8(OpXOR):
+				if rd != 0 {
+					r[rd] = r[d.rs1] ^ r[d.rs2]
+				}
+			case uint8(OpSLL):
+				if rd != 0 {
+					r[rd] = r[d.rs1] << (r[d.rs2] & 31)
+				}
+			case uint8(OpSRL):
+				if rd != 0 {
+					r[rd] = r[d.rs1] >> (r[d.rs2] & 31)
+				}
+			case uint8(OpSRA):
+				if rd != 0 {
+					r[rd] = uint32(int32(r[d.rs1]) >> (r[d.rs2] & 31))
+				}
+			case uint8(OpMUL):
+				if rd != 0 {
+					r[rd] = r[d.rs1] * r[d.rs2]
+				}
+				cyc += 3
+			case uint8(OpMULHU):
+				if rd != 0 {
+					p := uint64(r[d.rs1]) * uint64(r[d.rs2])
+					r[rd] = uint32(p >> 32)
+				}
+				cyc += 3
+			case uint8(OpSLT):
+				if rd != 0 {
+					r[rd] = b2u(int32(r[d.rs1]) < int32(r[d.rs2]))
+				}
+			case uint8(OpSLTU):
+				if rd != 0 {
+					r[rd] = b2u(r[d.rs1] < r[d.rs2])
+				}
+			case uint8(OpADDI):
+				if rd != 0 {
+					r[rd] = r[d.rs1] + uint32(d.imm)
+				}
+			case uint8(OpANDI):
+				if rd != 0 {
+					r[rd] = r[d.rs1] & uint32(d.imm)
+				}
+			case uint8(OpORI):
+				if rd != 0 {
+					r[rd] = r[d.rs1] | uint32(d.imm)
+				}
+			case uint8(OpXORI):
+				if rd != 0 {
+					r[rd] = r[d.rs1] ^ uint32(d.imm)
+				}
+			case uint8(OpSLLI):
+				if rd != 0 {
+					r[rd] = r[d.rs1] << uint32(d.imm)
+				}
+			case uint8(OpSRLI):
+				if rd != 0 {
+					r[rd] = r[d.rs1] >> uint32(d.imm)
+				}
+			case uint8(OpSRAI):
+				if rd != 0 {
+					r[rd] = uint32(int32(r[d.rs1]) >> uint32(d.imm))
+				}
+			case uint8(OpSLTI):
+				if rd != 0 {
+					r[rd] = b2u(int32(r[d.rs1]) < d.imm)
+				}
+			case uint8(OpSLTIU):
+				if rd != 0 {
+					r[rd] = b2u(r[d.rs1] < uint32(d.imm))
+				}
+			case uint8(OpLUI):
+				if rd != 0 {
+					r[rd] = uint32(d.imm)
+				}
+			case uint8(OpLW):
+				addr := r[d.rs1] + uint32(d.imm)
+				if addr&3 == 0 && addr <= DataBytes-4 {
+					if rd != 0 {
+						r[rd] = binary.LittleEndian.Uint32(data[addr:])
+					}
+				} else {
+					v, ok := st.loadSlow(c, addr, entry+uint32(i), cyc, ins)
+					if !ok {
+						return stErr
+					}
+					if rd != 0 {
+						r[rd] = v
+					}
+				}
+				cyc++
+			case uint8(OpLB):
+				addr := r[d.rs1] + uint32(d.imm)
+				if addr >= DataBytes {
+					return st.fault(c, addr, entry+uint32(i), cyc, ins, errByteLoadFault)
+				}
+				if rd != 0 {
+					r[rd] = uint32(int32(int8(data[addr])))
+				}
+				cyc++
+			case uint8(OpLBU):
+				addr := r[d.rs1] + uint32(d.imm)
+				if addr >= DataBytes {
+					return st.fault(c, addr, entry+uint32(i), cyc, ins, errByteLoadFault)
+				}
+				if rd != 0 {
+					r[rd] = uint32(data[addr])
+				}
+				cyc++
+			case uint8(OpSW):
+				addr := r[d.rs1] + uint32(d.imm)
+				if addr&3 == 0 && addr <= DataBytes-4 {
+					binary.LittleEndian.PutUint32(data[addr:], r[rd])
+				} else if !st.storeSlow(c, addr, r[rd], entry+uint32(i), cyc, ins) {
+					return stErr
+				}
+			case uint8(OpSB):
+				addr := r[d.rs1] + uint32(d.imm)
+				if addr >= DataBytes {
+					return st.fault(c, addr, entry+uint32(i), cyc, ins, errByteStoreFault)
+				}
+				data[addr] = byte(r[rd])
+			default:
+				// Unreachable: illegal records terminate the scan.
+				return st.illegal(c, uint32(d.imm), entry+uint32(i), cyc, ins)
+			}
+			cyc++
+			ins++
+		}
+		switch termOp {
+		case termNone:
+			// Open block: the scan ran off the end of program memory.
+			// The dispatcher's pc range check faults exactly where the
+			// reference loop would.
+			st.pc = tpc
+			st.cycles, st.instret = cyc, ins
+			return stOK
+		case uint8(OpHALT):
+			st.pc = tpc + 1
+			st.cycles, st.instret = cyc+1, ins+1
+			return stHalt
+		case uint8(OpJAL):
+			if intrin != nil {
+				if ncyc, nins, ok := intrin(c, st, cyc, ins, (tpc+1)*4, intrinLB); ok {
+					st.pc = tpc + 1
+					st.cycles, st.instret = ncyc, nins
+					return stOK
+				}
+			}
+			if term.rd != 0 {
+				r[term.rd] = uint32(term.imm2)
+			}
+			st.pc = uint32(term.imm)
+			st.cycles, st.instret = cyc+2, ins+1
+			return stOK
+		case uint8(OpJALR):
+			target := (r[term.rs1] + uint32(term.imm)) / 4
+			if term.rd != 0 {
+				r[term.rd] = uint32(term.imm2)
+			}
+			st.pc = target
+			st.cycles, st.instret = cyc+2, ins+1
+			return stOK
+		case xopIllegal:
+			return st.illegal(c, uint32(term.imm), tpc, cyc, ins)
+		}
+		// Conditional branch terminator.
+		a, b := r[term.rs1], r[term.rs2]
+		var taken bool
+		switch termOp {
+		case uint8(OpBEQ):
+			taken = a == b
+		case uint8(OpBNE):
+			taken = a != b
+		case uint8(OpBLT):
+			taken = int32(a) < int32(b)
+		case uint8(OpBGE):
+			taken = int32(a) >= int32(b)
+		case uint8(OpBLTU):
+			taken = a < b
+		case uint8(OpBGEU):
+			taken = a >= b
+		}
+		if taken {
+			st.pc = uint32(term.imm)
+			cyc += 2
+		} else {
+			st.pc = tpc + 1
+			cyc++
+		}
+		st.cycles, st.instret = cyc, ins+1
+		return stOK
+	}
+	return compiledBlock{fn: fn, worst: bi.worst, kind: blockRuntime}
+}

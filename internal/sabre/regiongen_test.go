@@ -1,0 +1,117 @@
+package sabre
+
+import (
+	"math"
+	"testing"
+)
+
+// alphaFilterMain is a runtime-assembled SoftFloat program that exists
+// nowhere in the generated kernel registry: a first-order alpha filter
+// with a magnitude and threshold channel, exercising add/sub/mul/sqrt
+// intrinsic calls plus the compare library. Its blocks must reach
+// compiled-tier dispatch through the runtime region generator alone.
+const alphaFilterMain = `
+	li sp, 0xFF00
+	lw s0, 0(zero)          ; measurement count
+	li s1, 0x100            ; input pointer
+	li s2, 0x8000           ; output pointer
+	lw fp, 4(zero)          ; alpha (f32 bits)
+	lw t0, 8(zero)          ; initial state
+	sw t0, 0x20(zero)
+	beqz s0, af_done
+af_loop:
+	lw a0, 0(s1)            ; z
+	lw a1, 0x20(zero)       ; y
+	call f32_sub            ; innovation = z - y
+	addi a1, fp, 0
+	call f32_mul            ; scaled = alpha * innovation
+	lw a1, 0x20(zero)
+	call f32_add            ; y' = y + scaled
+	sw a0, 0x20(zero)
+	sw a0, 0(s2)
+	addi a1, a0, 0
+	call f32_mul            ; y'^2
+	call f32_sqrt           ; |y'|
+	sw a0, 4(s2)
+	lw a1, 12(zero)         ; threshold
+	call f32_cmp_lt
+	sw a0, 8(s2)
+	addi s1, s1, 4
+	addi s2, s2, 12
+	addi s0, s0, -1
+	bnez s0, af_loop
+af_done:
+	halt
+`
+
+func alphaFilterSetup(z []float32) func(*CPU) {
+	return func(c *CPU) {
+		c.StoreWord(0, uint32(len(z)))
+		c.StoreWord(4, math.Float32bits(0.125))
+		c.StoreWord(8, math.Float32bits(2.5))
+		c.StoreWord(12, math.Float32bits(4.0))
+		for i, v := range z {
+			c.StoreWord(uint32(0x100+4*i), math.Float32bits(v))
+		}
+	}
+}
+
+// TestRuntimeRegionGenerator is the acceptance test of the runtime
+// region generator: a runtime-assembled program with no generated
+// kernels must run with full three-way engine parity and reach kernel
+// dispatch coverage of at least 90% on the compiled engine, with the
+// runtime tier dispatching and the intrinsic mirrors firing.
+func TestRuntimeRegionGenerator(t *testing.T) {
+	prog, err := Assemble(alphaFilterMain + Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float32, 24)
+	for i := range z {
+		z[i] = 3 + float32(math.Cos(float64(i)))*0.5
+	}
+	setup := alphaFilterSetup(z)
+
+	out := requireParity(t, prog.Words, 2_000_000, setup)
+	if !out.halted || out.errStr != "" {
+		t.Fatalf("alpha filter did not halt cleanly: halted=%v err=%q", out.halted, out.errStr)
+	}
+
+	c := New()
+	c.Engine = EngineCompiled
+	if err := c.LoadProgram(prog.Words); err != nil {
+		t.Fatal(err)
+	}
+	setup(c)
+	var st CompiledStats
+	c.CollectCompiledStats(&st)
+	if _, err := c.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted {
+		t.Fatal("compiled run did not halt")
+	}
+
+	var total uint64
+	for _, d := range st.Dispatches {
+		total += d
+	}
+	kernel := total - st.Dispatches[blockGeneric]
+	if total == 0 || float64(kernel) < 0.9*float64(total) {
+		t.Fatalf("kernel dispatch coverage %d/%d below 90%%", kernel, total)
+	}
+	if st.Dispatches[blockRuntime] == 0 {
+		t.Fatal("runtime region generator never dispatched")
+	}
+	if st.IntrinsicCalls == 0 {
+		t.Fatal("intrinsic mirrors never fired on a runtime-assembled program")
+	}
+	// Each iteration makes six library calls; all should lower.
+	want := uint64(len(z) * 6)
+	if st.IntrinsicCalls != want {
+		t.Errorf("intrinsic calls = %d, want %d", st.IntrinsicCalls, want)
+	}
+	t.Logf("dispatch coverage %d/%d (runtime %d, region %d, generic %d), %d intrinsic calls",
+		kernel, total, st.Dispatches[blockRuntime], st.Dispatches[blockRegion],
+		st.Dispatches[blockGeneric], st.IntrinsicCalls)
+}

@@ -53,6 +53,11 @@ type cst struct {
 	instret uint64
 	stop    uint64
 	err     error
+	// sf is the softfloat-intrinsic scratch record. Keeping it here
+	// instead of on each wrapper's stack avoids re-zeroing it on every
+	// mirrored call; wrappers reset the one field (rpRA) whose zero
+	// value is meaningful.
+	sf mOut
 }
 
 // blockFn executes one translated block (or region entered at st.pc)
@@ -72,6 +77,12 @@ type compiledBlock struct {
 type CompiledStats struct {
 	Dispatches [numBlockKinds]uint64
 	Instret    [numBlockKinds]uint64
+
+	// IntrinsicCalls counts SoftFloat library calls lowered to native
+	// mirrors; IntrinsicInstret is the emulated instruction count those
+	// calls were charged for (a subset of the owning kind's Instret).
+	IntrinsicCalls   uint64
+	IntrinsicInstret uint64
 }
 
 // Retired returns the total instructions retired across all kinds.
@@ -81,6 +92,37 @@ func (s *CompiledStats) Retired() uint64 {
 		t += v
 	}
 	return t
+}
+
+// KernelDispatches returns dispatches that ran translated code — any
+// kind except the generic per-block fallback.
+func (s *CompiledStats) KernelDispatches() uint64 {
+	var t uint64
+	for k, v := range s.Dispatches {
+		if k != blockGeneric {
+			t += v
+		}
+	}
+	return t
+}
+
+// GenericDispatches returns dispatches that fell back to the generic
+// per-block reference interpreter.
+func (s *CompiledStats) GenericDispatches() uint64 {
+	return s.Dispatches[blockGeneric]
+}
+
+// Summary renders the one-line dispatch/intrinsic report the CLIs
+// append to their MIPS summary lines.
+func (s *CompiledStats) Summary() string {
+	kernel, generic := s.KernelDispatches(), s.GenericDispatches()
+	total := kernel + generic
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(kernel) / float64(total)
+	}
+	return fmt.Sprintf("%d intrinsic calls, %d/%d kernel dispatches (%.1f%% coverage)",
+		s.IntrinsicCalls, kernel, total, pct)
 }
 
 // CollectCompiledStats attaches (or, with nil, detaches) a translation
@@ -96,6 +138,16 @@ func (c *CPU) resetBlocks() {
 	c.blocks = c.blocks[:ProgWords]
 	for i := range c.blocks {
 		c.blocks[i] = compiledBlock{}
+	}
+	// Locate the canonical SoftFloat blobs once per program so the
+	// runtime region generator can lower calls into them to intrinsic
+	// mirrors. Word-exact match; -1 when the program carries no blob.
+	// Cached across table rebuilds: the offsets depend only on program
+	// memory, which LoadProgram invalidates.
+	if !c.sfBlobsValid {
+		c.sfArith = findBlob(c.Prog, sfOff.arith)
+		c.sfCmp = findBlob(c.Prog, sfOff.cmp)
+		c.sfBlobsValid = true
 	}
 	c.blocksValid = true
 }

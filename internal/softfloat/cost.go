@@ -1,0 +1,48 @@
+package softfloat
+
+import "sort"
+
+// Cost hooks: the dynamic cycle/instret cost of running one f32
+// routine of the emulated SoftFloat library on the FPU-less Sabre
+// core, for concrete operand bits. The costs are input-dependent
+// (special-case exits, normalisation counts, shift-and-jam loops), so
+// they are functions of the operands, not constants.
+//
+// This package owns the registry only; the model itself is installed
+// by the engine that maintains the cycle-exact native mirrors
+// (internal/sabre registers every routine at init). Keeping the
+// registration inverted avoids duplicating the per-path cost tables
+// here and guarantees the numbers can never drift from the mirrors
+// the differential fuzz validates.
+
+// CostFunc reports the result bits and the exact dynamic cost, in
+// core cycles and retired instructions, of one emulated routine
+// applied to the given operand bits (b is ignored by unary routines).
+type CostFunc func(a, b uint32) (res, cycles, instret uint32)
+
+var costHooks = map[string]CostFunc{}
+
+// RegisterCost installs the cost hook for the named routine
+// ("f32_add", "f32_cmp_lt", ...), replacing any previous hook.
+func RegisterCost(name string, f CostFunc) { costHooks[name] = f }
+
+// Cost evaluates the named routine's cost hook. ok is false when no
+// engine has registered a model for the routine.
+func Cost(name string, a, b uint32) (res, cycles, instret uint32, ok bool) {
+	f, ok := costHooks[name]
+	if !ok {
+		return 0, 0, 0, false
+	}
+	res, cycles, instret = f(a, b)
+	return res, cycles, instret, true
+}
+
+// CostRoutines lists the routines with installed cost hooks, sorted.
+func CostRoutines() []string {
+	names := make([]string, 0, len(costHooks))
+	for n := range costHooks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
