@@ -101,11 +101,15 @@ vidpipe-smoke:
 	$(GO) run ./cmd/vidpipe -out $${TMPDIR:-/tmp} -check $(VIDPIPE_GOLDEN)
 
 # Fleet serving smoke: the replay determinism contract (byte-identical
-# results at workers 1/2/8 and vs direct system.Run), then a quick
-# loopback load run over the binary protocol.
+# results at workers 1/2/8 and vs direct system.Run), a quick loopback
+# load run over the binary protocol, and the fairness bound — a small
+# tenant's p99 while a mega batch is resident must stay within the DRR
+# bound (a FIFO queue parks it behind the whole mega batch), with live
+# mid-run telemetry arriving on the mega connection.
 fleet-smoke:
 	$(GO) run ./cmd/fleetload -replay-check
 	$(GO) run ./cmd/fleetload -scenarios 2000 -batch 500 -queue 4096
+	$(GO) run ./cmd/fleetload -fairness -fairness-check -mega 30000 -queue 65536
 
 # Regenerate the full evaluation report (Table 1, Figs 8-9, Monte
 # Carlo, ablations) at the paper's 300 s duration.

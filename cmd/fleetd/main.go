@@ -1,12 +1,16 @@
 // Command fleetd is the fleet simulation server: it accepts batches of
 // scenario configurations over HTTP/JSON (operability) and a compact
 // length-prefixed binary protocol (throughput), shards them across a
-// deterministic worker pool with bounded-queue admission, and streams
-// back telemetry and per-scenario results.
+// deterministic worker pool with bounded-queue fair admission
+// (per-tenant queues drained deficit-round-robin, optional per-tenant
+// inflight cap), and streams back live telemetry and per-scenario
+// results.
 //
 // Usage:
 //
 //	fleetd [-http :7600] [-bin :7601] [-workers 0] [-queue 131072]
+//	       [-quantum 32] [-tenant-cap 0] [-max-batch 1048576]
+//	       [-idle-timeout 2m] [-telemetry-interval 1s]
 //
 // SIGINT/SIGTERM trigger a graceful drain: listeners close, in-flight
 // scenarios complete, then the process exits with the final counters.
@@ -32,11 +36,22 @@ func main() {
 	binAddr := flag.String("bin", ":7601", "binary protocol listen address (empty disables)")
 	workers := flag.Int("workers", 0, "worker count (0 = one per CPU)")
 	queue := flag.Int("queue", 1<<17, "admission queue depth (max concurrently admitted scenarios)")
+	quantum := flag.Int("quantum", 32, "DRR quantum: scenarios one tenant may drain per scheduler turn")
+	tenantCap := flag.Int("tenant-cap", 0, "per-tenant inflight cap (0 = unlimited; DRR still bounds service order)")
+	maxBatch := flag.Int("max-batch", 1<<20, "binary protocol per-batch scenario cap (session torn down beyond it)")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "binary session idle deadline (0 disables)")
+	telemetry := flag.Duration("telemetry-interval", time.Second, "live mid-run telemetry cadence on binary sessions")
 	flag.Parse()
 
-	srv := fleet.NewServer(*workers, *queue)
+	srv := fleet.NewServerConfig(fleet.ServerConfig{
+		Workers: *workers, Depth: *queue,
+		Quantum: *quantum, TenantCap: *tenantCap,
+		MaxBatch: *maxBatch, IdleTimeout: *idle,
+		TelemetryInterval: *telemetry,
+	})
 	st := srv.Stats()
-	log.Printf("fleetd: %d workers, queue depth %d", st.Workers, st.Depth)
+	log.Printf("fleetd: %d workers, queue depth %d, quantum %d, tenant cap %d",
+		st.Workers, st.Depth, st.Quantum, st.TenantCap)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
@@ -87,6 +102,10 @@ func main() {
 	srv.Close()
 
 	st = srv.Stats()
-	fmt.Printf("fleetd: drained. admitted=%d completed=%d shed=%d failed=%d peak_inflight=%d\n",
-		st.Admitted, st.Completed, st.Shed, st.Failed, st.PeakInflight)
+	fmt.Printf("fleetd: drained. admitted=%d completed=%d shed=%d failed=%d peak_inflight=%d tenants=%d\n",
+		st.Admitted, st.Completed, st.Shed, st.Failed, st.PeakInflight, st.Tenants)
+	for _, row := range srv.PerTenant() {
+		fmt.Printf("fleetd: tenant %d: admitted=%d completed=%d shed=%d failed=%d peak_inflight=%d\n",
+			row.Tenant, row.Admitted, row.Completed, row.Shed, row.Failed, row.PeakInflight)
+	}
 }

@@ -13,6 +13,14 @@
 // the same tenant-seeded specs served at several worker counts must
 // produce byte-identical result frames, all equal to direct
 // system.Run executions.
+//
+// -fairness runs the admission-fairness experiment: a small tenant's
+// batch latency is measured solo, then again while a mega tenant's
+// single huge batch is resident, and the mega connection counts the
+// live Telemetry frames that arrive mid-run. Under the DRR scheduler
+// the small tenant's p99 stays within a constant factor of its solo
+// p99 (under a FIFO it would queue behind the whole mega batch);
+// -fairness-check turns the bound into an exit status for CI.
 package main
 
 import (
@@ -41,7 +49,15 @@ func main() {
 	calibrate := flag.Bool("calibrate", false, "run the 30 s pre-run calibration per scenario")
 	workers := flag.Int("workers", 0, "in-process server workers (0 = CPUs)")
 	queue := flag.Int("queue", 1<<17, "in-process server queue depth")
+	quantum := flag.Int("quantum", 32, "in-process server DRR quantum")
+	tenantCap := flag.Int("tenant-cap", 0, "in-process server per-tenant inflight cap (0 = unlimited)")
+	telemetryMS := flag.Uint("telemetry-ms", 0, "mid-run telemetry cadence to request (0 = server default)")
 	replay := flag.Bool("replay-check", false, "verify byte-identical replay across worker counts and exit")
+	fairness := flag.Bool("fairness", false, "run the small-tenant-vs-mega-batch fairness experiment and exit")
+	fairCheck := flag.Bool("fairness-check", false, "with -fairness: fail unless the fairness bound and mid-run telemetry hold")
+	mega := flag.Int("mega", 50_000, "with -fairness: mega tenant batch size")
+	smallBatches := flag.Int("small-batches", 40, "with -fairness: small tenant batch count per phase")
+	smallBatch := flag.Int("small-batch", 8, "with -fairness: small tenant scenarios per batch")
 	flag.Parse()
 
 	kind, err := fleet.ParseKind(*kindName)
@@ -67,10 +83,27 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *fairness {
+		ok := fairnessRun(fairnessOpts{
+			addr: *addr, workers: *workers, queue: *queue,
+			quantum: *quantum, tenantCap: *tenantCap,
+			kind: kind, dur: *dur, calibrate: *calibrate,
+			mega: *mega, smallBatches: *smallBatches, smallBatch: *smallBatch,
+			check: *fairCheck,
+		})
+		if *fairCheck && !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
 	target := *addr
 	var srv *fleet.Server
 	if target == "" {
-		srv = fleet.NewServer(*workers, *queue)
+		srv = fleet.NewServerConfig(fleet.ServerConfig{
+			Workers: *workers, Depth: *queue,
+			Quantum: *quantum, TenantCap: *tenantCap,
+		})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatalf("fleetload: %v", err)
@@ -79,7 +112,8 @@ func main() {
 		defer func() { ln.Close(); srv.Close() }()
 		target = ln.Addr().String()
 		st := srv.Stats()
-		log.Printf("fleetload: in-process server on %s (%d workers, queue %d)", target, st.Workers, st.Depth)
+		log.Printf("fleetload: in-process server on %s (%d workers, queue %d, quantum %d)",
+			target, st.Workers, st.Depth, st.Quantum)
 	}
 
 	var (
@@ -96,7 +130,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cl, err := dial(target)
+			cl, err := dial(target, uint32(*telemetryMS))
 			if err != nil {
 				log.Fatalf("fleetload: %v", err)
 			}
@@ -131,21 +165,23 @@ func main() {
 	elapsed := time.Since(start)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
-	}
 	done := completed.Load()
 	fmt.Printf("fleetload: %d scenarios in %.2fs = %.0f scenarios/sec\n",
 		done, elapsed.Seconds(), float64(done)/elapsed.Seconds())
 	fmt.Printf("fleetload: batches=%d batch_p50=%s batch_p99=%s shed=%d peak_concurrent=%d\n",
-		len(latencies), pct(0.50), pct(0.99), shedTotal.Load(), peak)
+		len(latencies), pct(latencies, 0.50), pct(latencies, 0.99), shedTotal.Load(), peak)
 	if shedTotal.Load() > 0 {
 		fmt.Println("fleetload: overload shed occurred (raise -queue or lower -batch for lossless runs)")
 	}
+}
+
+// pct returns the p-th percentile of sorted latencies.
+func pct(latencies []time.Duration, p float64) time.Duration {
+	if len(latencies) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(latencies)-1))
+	return latencies[i]
 }
 
 // client drives one binary-protocol connection.
@@ -156,21 +192,23 @@ type client struct {
 	req    []byte
 }
 
-func dial(addr string) (*client, error) {
+// dial connects and handshakes, requesting result-boundary telemetry
+// only at batch end (interval > any batch) and the given mid-run
+// telemetry cadence (0 = server default).
+func dial(addr string, intervalMS uint32) (*client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	cl := &client{conn: conn, rbuf: make([]byte, 64<<10)}
-	// Handshake, telemetry only at batch end (interval > batch size).
-	if _, err := conn.Write(fleet.AppendHello(nil, 0, 65535, 0)); err != nil {
+	if _, err := conn.Write(fleet.AppendHello(nil, 0, 65535, 0, intervalMS)); err != nil {
 		return nil, err
 	}
 	typ, payload, err := cl.readFrame()
 	if err != nil || typ != fleet.FrameHello {
 		return nil, fmt.Errorf("handshake failed: typ=%#x err=%v", typ, err)
 	}
-	if v, _, _, _, err := fleet.DecodeHello(payload); err != nil || v != fleet.WireVersion {
+	if v, _, _, _, _, err := fleet.DecodeHello(payload); err != nil || v != fleet.WireVersion {
 		return nil, fmt.Errorf("handshake version mismatch: %v", err)
 	}
 	return cl, nil
@@ -229,6 +267,178 @@ func (c *client) runBatch(mk func(int) fleet.ScenarioSpec, lo, hi int) (results 
 			return results, shed, tel, err
 		}
 	}
+}
+
+type fairnessOpts struct {
+	addr               string
+	workers, queue     int
+	quantum, tenantCap int
+	kind               fleet.Kind
+	dur                float64
+	calibrate          bool
+	mega               int
+	smallBatches       int
+	smallBatch         int
+	check              bool
+}
+
+// fairnessRun measures what the DRR scheduler buys: the small tenant's
+// batch latency distribution with and without a resident mega batch,
+// plus the mid-run telemetry cadence observed on the mega connection.
+func fairnessRun(o fairnessOpts) bool {
+	target := o.addr
+	if target == "" {
+		srv := fleet.NewServerConfig(fleet.ServerConfig{
+			Workers: o.workers, Depth: o.queue,
+			Quantum: o.quantum, TenantCap: o.tenantCap,
+			TelemetryInterval: 50 * time.Millisecond,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("fleetload: %v", err)
+		}
+		go srv.ServeBinary(ln)
+		defer func() { ln.Close(); srv.Close() }()
+		target = ln.Addr().String()
+		st := srv.Stats()
+		log.Printf("fleetload: fairness: in-process server on %s (%d workers, queue %d, quantum %d, tenant cap %d)",
+			target, st.Workers, st.Depth, st.Quantum, st.TenantCap)
+	}
+
+	const (
+		megaTenant  = 1
+		smallTenant = 2
+	)
+	mkMega := func(i int) fleet.ScenarioSpec {
+		return fleet.ScenarioSpec{
+			Kind: o.kind, Tenant: megaTenant, Seed: int64(i), Dur: o.dur,
+			MisDeg: [3]float64{2, -3, 1}, NoCalibrate: !o.calibrate,
+		}
+	}
+	mkSmall := func(i int) fleet.ScenarioSpec {
+		sp := mkMega(i)
+		sp.Tenant = smallTenant
+		return sp
+	}
+
+	smallPhase := func(cl *client) []time.Duration {
+		lats := make([]time.Duration, 0, o.smallBatches)
+		for b := 0; b < o.smallBatches; b++ {
+			lo := b * o.smallBatch
+			t0 := time.Now()
+			_, shed, _, err := cl.runBatch(mkSmall, lo, lo+o.smallBatch)
+			if err != nil {
+				log.Fatalf("fleetload: fairness: small batch %d: %v", b, err)
+			}
+			if shed > 0 {
+				log.Fatalf("fleetload: fairness: small tenant shed %d scenarios (raise -queue)", shed)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats
+	}
+
+	smallCl, err := dial(target, 0)
+	if err != nil {
+		log.Fatalf("fleetload: %v", err)
+	}
+	defer smallCl.conn.Close()
+
+	// Phase 1: the small tenant alone.
+	solo := smallPhase(smallCl)
+
+	// Phase 2: land the mega batch, wait until the server confirms it
+	// is running (the first mid-run telemetry frame), then measure the
+	// small tenant again while the mega batch is resident.
+	megaCl, err := dial(target, 50)
+	if err != nil {
+		log.Fatalf("fleetload: %v", err)
+	}
+	defer megaCl.conn.Close()
+	type megaReport struct {
+		results  int
+		shed     uint32
+		midTel   int
+		duration time.Duration
+	}
+	megaResident := make(chan struct{})
+	megaDone := make(chan megaReport, 1)
+	go func() {
+		var rep megaReport
+		t0 := time.Now()
+		megaCl.req = megaCl.req[:0]
+		for i := 0; i < o.mega; i++ {
+			megaCl.req = fleet.AppendScenario(megaCl.req, mkMega(i))
+		}
+		megaCl.req = fleet.AppendBatchEnd(megaCl.req, 0, 0)
+		if _, err := megaCl.conn.Write(megaCl.req); err != nil {
+			log.Fatalf("fleetload: fairness: mega write: %v", err)
+		}
+		resident := false
+		sawResult := false
+		for {
+			typ, payload, err := megaCl.readFrame()
+			if err != nil {
+				log.Fatalf("fleetload: fairness: mega read: %v", err)
+			}
+			switch typ {
+			case fleet.FrameTelemetry:
+				if !sawResult {
+					rep.midTel++ // live telemetry: before any result arrived
+				}
+				if !resident {
+					resident = true
+					close(megaResident)
+				}
+			case fleet.FrameResult:
+				sawResult = true
+				if w, derr := fleet.DecodeResult(payload); derr == nil && w.Status == fleet.StatusOK {
+					rep.results++
+				}
+			case fleet.FrameBatchEnd:
+				_, rep.shed, _ = fleet.DecodeBatchEnd(payload)
+				rep.duration = time.Since(t0)
+				megaDone <- rep
+				return
+			}
+		}
+	}()
+	<-megaResident
+	contended := smallPhase(smallCl)
+	rep := <-megaDone
+
+	soloP50, soloP99 := pct(solo, 0.50), pct(solo, 0.99)
+	contP50, contP99 := pct(contended, 0.50), pct(contended, 0.99)
+	ratio := float64(contP99) / float64(max(int64(soloP99), 1))
+	fmt.Printf("fairness: small tenant solo:      batches=%d p50=%s p99=%s\n",
+		len(solo), soloP50, soloP99)
+	fmt.Printf("fairness: small tenant contended: batches=%d p50=%s p99=%s (x%.1f vs solo p99)\n",
+		len(contended), contP50, contP99, ratio)
+	fmt.Printf("fairness: mega tenant: %d scenarios ok, %d shed, %d mid-run telemetry frames, done in %s\n",
+		rep.results, rep.shed, rep.midTel, rep.duration)
+
+	// The bound: DRR keeps the small tenant's contended p99 within a
+	// constant factor of solo (FIFO would put it behind the whole mega
+	// batch). The absolute floor absorbs scheduler jitter on small
+	// solo baselines; the telemetry requirement pins the live stream.
+	bound := 25 * soloP99
+	if floor := 500 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	pass := true
+	if contP99 > bound {
+		fmt.Printf("fairness: FAIL: contended p99 %s exceeds bound %s\n", contP99, bound)
+		pass = false
+	}
+	if rep.midTel < 1 {
+		fmt.Println("fairness: FAIL: no mid-run telemetry frames arrived during the mega batch")
+		pass = false
+	}
+	if pass {
+		fmt.Println("fairness: PASS")
+	}
+	return pass
 }
 
 // replayCheck serves the same specs at worker counts 1, 2 and 8 and

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"reflect"
 	"sync"
@@ -98,11 +99,14 @@ func TestFleetShedding(t *testing.T) {
 
 	// Hand-built server whose worker parks on the gate before serving;
 	// everything else is the production path.
-	s := &Server{}
+	s := &Server{
+		cfg:     ServerConfig{}.withDefaults(),
+		tenants: make(map[uint32]*tenantCounters),
+	}
 	s.jobPool.New = func() any { return new(job) }
 	s.batchPool.New = func() any { return new(Batch) }
 	s.runners = []*system.Runner{system.NewRunner()}
-	s.pool = parallel.NewPool(1, depth, func(worker int, j *job) {
+	s.pool = parallel.NewFairPool(1, depth, s.cfg.Quantum, 0, func(worker int, j *job) {
 		once.Do(func() { close(started) })
 		<-gate
 		s.serve(worker, j)
@@ -134,8 +138,11 @@ func TestFleetShedding(t *testing.T) {
 		if i < depth && err != nil {
 			t.Errorf("admitted scenario %d failed: %v", i, err)
 		}
-		if i >= depth && err != ErrShed {
-			t.Errorf("overflow scenario %d: err=%v, want ErrShed", i, err)
+		if i >= depth && !errors.Is(err, ErrShed) {
+			t.Errorf("overflow scenario %d: err=%v, want a wrapped ErrShed", i, err)
+		}
+		if i >= depth && !errors.Is(err, ErrQueueFull) {
+			t.Errorf("overflow scenario %d: err=%v, want ErrQueueFull", i, err)
 		}
 		if i >= depth && b.Status(i) != StatusShed {
 			t.Errorf("overflow scenario %d: status=%d, want shed", i, b.Status(i))
@@ -210,18 +217,21 @@ func TestFleetBinarySession(t *testing.T) {
 		}
 	}
 
-	// Handshake, asking for telemetry every 2 results.
-	if _, err := client.Write(AppendHello(nil, 0, 2, 0)); err != nil {
+	// Handshake, asking for telemetry every 2 results and a mid-run
+	// cadence far beyond the test's runtime, so the telemetry frame
+	// count below stays exactly the result-boundary schedule.
+	if _, err := client.Write(AppendHello(nil, 0, 2, 0, 3_600_000)); err != nil {
 		t.Fatal(err)
 	}
 	typ, payload := readFrame()
 	if typ != FrameHello {
 		t.Fatalf("handshake reply type %#x", typ)
 	}
-	version, workers, every, depth, err := DecodeHello(payload)
-	if err != nil || version != WireVersion || workers != 2 || every != 2 || depth != 256 {
-		t.Fatalf("hello reply v%d workers=%d every=%d depth=%d err=%v",
-			version, workers, every, depth, err)
+	version, workers, every, depth, intervalMS, err := DecodeHello(payload)
+	if err != nil || version != WireVersion || workers != 2 || every != 2 || depth != 256 ||
+		intervalMS != 3_600_000 {
+		t.Fatalf("hello reply v%d workers=%d every=%d depth=%d interval=%dms err=%v",
+			version, workers, every, depth, intervalMS, err)
 	}
 
 	specs := testSpecs(5)

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 )
@@ -77,6 +78,23 @@ type StatsJSON struct {
 	Queued       int   `json:"queued"`
 	Workers      int   `json:"workers"`
 	Depth        int   `json:"depth"`
+	Quantum      int   `json:"quantum"`
+	TenantCap    int   `json:"tenant_cap"`
+	// Tenants is the per-tenant accounting, sorted by tenant ID — the
+	// fairness observability surface: who is admitted, who is being
+	// shed, and whose inflight share is at the cap.
+	Tenants []TenantStatsJSON `json:"tenants,omitempty"`
+}
+
+// TenantStatsJSON is one tenant's row in the /v1/stats reply.
+type TenantStatsJSON struct {
+	Tenant       uint32 `json:"tenant"`
+	Admitted     int64  `json:"admitted"`
+	Completed    int64  `json:"completed"`
+	Shed         int64  `json:"shed"`
+	Failed       int64  `json:"failed"`
+	Inflight     int64  `json:"inflight"`
+	PeakInflight int64  `json:"peak_inflight"`
 }
 
 // maxHTTPBatch bounds one JSON request's scenario count; the binary
@@ -92,10 +110,7 @@ func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", handleHealthz)
 	return mux
 }
 
@@ -146,7 +161,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			rj.MeanNIS = res.MeanNIS
 			rj.ExceedanceRate = res.ExceedanceRate
 			resp.Admitted++
-		case err == ErrShed:
+		// Shed classification must be errors.Is, not ==: admission
+		// errors wrap ErrShed (ErrQueueFull, ErrTenantCap).
+		case errors.Is(err, ErrShed):
 			rj.Status = "shed"
 			rj.Error = err.Error()
 			resp.Shed++
@@ -164,12 +181,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
 	st := s.Stats()
+	rows := s.PerTenant()
+	tj := make([]TenantStatsJSON, len(rows))
+	for i, row := range rows {
+		tj[i] = TenantStatsJSON{
+			Tenant: row.Tenant, Admitted: row.Admitted, Completed: row.Completed,
+			Shed: row.Shed, Failed: row.Failed,
+			Inflight: row.Inflight, PeakInflight: row.PeakInflight,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(StatsJSON{
 		Admitted: st.Admitted, Completed: st.Completed, Shed: st.Shed,
 		Failed: st.Failed, Inflight: st.Inflight, PeakInflight: st.PeakInflight,
 		Queued: st.Queued, Workers: st.Workers, Depth: st.Depth,
+		Quantum: st.Quantum, TenantCap: st.TenantCap, Tenants: tj,
 	})
 }

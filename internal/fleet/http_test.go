@@ -2,10 +2,16 @@ package fleet
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"boresight/internal/parallel"
+	"boresight/internal/system"
 )
 
 // TestGoldenHTTP pins the JSON wire schema — request field names,
@@ -49,12 +55,125 @@ func TestGoldenHTTP(t *testing.T) {
 	if st.Admitted != 2 || st.Completed != 2 || st.Failed != 1 || st.Workers != 1 || st.Depth != 16 {
 		t.Errorf("stats counters %+v", st)
 	}
+	if st.Quantum != 32 || st.TenantCap != 0 {
+		t.Errorf("fairness config in stats: quantum=%d tenant_cap=%d", st.Quantum, st.TenantCap)
+	}
+	// The batch above used tenants 0 and 7; per-tenant rows are sorted.
+	if len(st.Tenants) != 2 || st.Tenants[0].Tenant != 0 || st.Tenants[1].Tenant != 7 {
+		t.Fatalf("per-tenant rows %+v", st.Tenants)
+	}
+	if r := st.Tenants[0]; r.Admitted != 1 || r.Failed != 1 || r.Inflight != 0 {
+		t.Errorf("tenant 0 row %+v", r)
+	}
+	if r := st.Tenants[1]; r.Admitted != 1 || r.Completed != 1 || r.Failed != 0 {
+		t.Errorf("tenant 7 row %+v", r)
+	}
 
 	// Liveness.
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
 		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHTTPMethodFiltering checks every endpoint rejects the wrong verb
+// with 405 instead of handling it (or panicking on a nil body).
+func TestHTTPMethodFiltering(t *testing.T) {
+	s := NewServer(1, 16)
+	defer s.Close()
+	h := s.HTTPHandler()
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/batch"},
+		{http.MethodDelete, "/v1/batch"},
+		{http.MethodPost, "/v1/stats"},
+		{http.MethodDelete, "/v1/stats"},
+		{http.MethodPost, "/healthz"},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: got %d, want 405", tc.method, tc.path, rec.Code)
+		}
+	}
+}
+
+// TestHTTPShedClassification drives real queue-full shedding through
+// the JSON path and checks the handler classifies the wrapped ErrShed
+// (ErrQueueFull wraps it — a == test would misreport shed as error).
+// The worker is gated, so admission outcomes are deterministic: one
+// scenario held by the worker, depth queued, the rest shed.
+func TestHTTPShedClassification(t *testing.T) {
+	const depth = 2
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s := &Server{
+		cfg:     ServerConfig{}.withDefaults(),
+		tenants: make(map[uint32]*tenantCounters),
+	}
+	s.jobPool.New = func() any { return new(job) }
+	s.batchPool.New = func() any { return new(Batch) }
+	s.runners = []*system.Runner{system.NewRunner()}
+	s.pool = parallel.NewFairPool(1, depth, 32, 0, func(worker int, j *job) {
+		once.Do(func() { close(started) })
+		<-gate
+		s.serve(worker, j)
+	})
+	defer s.Close()
+
+	// Park the worker on a stall scenario so the queue state is fixed.
+	stall := s.NewBatch()
+	stall.Add(ScenarioSpec{Kind: KindStatic, Seed: 1, Dur: 1, NoCalibrate: true})
+	stall.Submit(false)
+	<-started
+
+	const n = depth + 4
+	var sb strings.Builder
+	sb.WriteString(`{"scenarios":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"kind":"static","seed":%d,"dur":1,"mis_deg":[0,0,0],"no_calibrate":true}`, i)
+	}
+	sb.WriteString(`]}`)
+	body := sb.String()
+
+	respCh := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		s.HTTPHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body)))
+		respCh <- rec
+	}()
+	// All n submissions have resolved once the shed counter lands;
+	// only then may the gate open (otherwise drain races admission).
+	for s.shed.Load() != n-depth {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate)
+	rec := <-respCh
+	stall.Wait()
+	stall.Release()
+
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v (%s)", err, rec.Body.String())
+	}
+	if resp.Admitted != depth || resp.Shed != n-depth {
+		t.Fatalf("admitted=%d shed=%d, want %d/%d", resp.Admitted, resp.Shed, depth, n-depth)
+	}
+	for i, r := range resp.Results {
+		want := "ok"
+		if i >= depth {
+			want = "shed"
+		}
+		if r.Status != want {
+			t.Errorf("scenario %d: status %q (err %q), want %q", i, r.Status, r.Error, want)
+		}
+		if i >= depth && !strings.Contains(r.Error, "queue full") {
+			t.Errorf("scenario %d: shed error %q does not name the bound", i, r.Error)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 )
 
 // The binary face of the server: the throughput path. One connection
@@ -12,6 +13,14 @@ import (
 // output buffer and pooled Batch, so serving a batch in steady state
 // allocates nothing — the decode → run → encode pipeline the
 // BenchmarkFleetThroughput guard measures runs exactly this code.
+// (The live-telemetry ticker goroutine and its channel are per batch,
+// outside that measured pipeline.)
+//
+// Session hardening: a session that exceeds the server's MaxBatch
+// scenario bound, or delivers no frame within IdleTimeout, is torn
+// down — a peer cannot grow the batch (and the pooled result storage
+// behind it) without bound, and a silent peer cannot hold a goroutine,
+// a 64 KiB read buffer and a pooled Batch forever.
 
 // connReadBuf is the per-connection read chunk size.
 const connReadBuf = 64 << 10
@@ -19,6 +28,11 @@ const connReadBuf = 64 << 10
 // defaultTelemetryEvery is the result interval between telemetry
 // frames when the client's Hello asks for 0.
 const defaultTelemetryEvery = 4096
+
+// minTelemetryInterval floors the live-telemetry cadence a client may
+// request, so a hostile Hello cannot turn the server into a telemetry
+// flood generator.
+const minTelemetryInterval = 10 * time.Millisecond
 
 // ServeBinary serves the binary protocol on ln until the listener is
 // closed (returning nil) or Accept fails (returning that error). Each
@@ -46,26 +60,49 @@ func (s *Server) ServeBinary(ln net.Listener) error {
 
 // session is the per-connection reusable state.
 type session struct {
-	parser FrameParser
-	rbuf   []byte
-	out    []byte
-	batch  *Batch
-	every  int // telemetry interval (results per telemetry frame)
+	parser   FrameParser
+	rbuf     []byte
+	out      []byte
+	batch    *Batch
+	every    int           // telemetry interval (results per telemetry frame)
+	interval time.Duration // live mid-run telemetry cadence
+	wmu      sync.Mutex    // serialises conn writes (ticker vs session loop)
 }
 
-// ServeConn runs the binary protocol on one connection until EOF or a
-// protocol error, then closes it. Exported so tests and in-process
-// loopback clients (net.Pipe) can drive the exact production path.
+// write sends b on conn under the session write lock, applying the
+// server's idle timeout as a write deadline so a peer that stops
+// reading cannot park a writer forever.
+func (ss *session) write(s *Server, conn net.Conn, b []byte) error {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	_, err := conn.Write(b)
+	return err
+}
+
+// ServeConn runs the binary protocol on one connection until EOF, a
+// protocol violation, or the idle deadline, then closes it. Exported
+// so tests and in-process loopback clients (net.Pipe) can drive the
+// exact production path.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	ss := session{
-		rbuf:  make([]byte, connReadBuf),
-		out:   make([]byte, 0, 64<<10),
-		batch: s.NewBatch(),
-		every: defaultTelemetryEvery,
+		rbuf:     make([]byte, connReadBuf),
+		out:      make([]byte, 0, 64<<10),
+		batch:    s.NewBatch(),
+		every:    defaultTelemetryEvery,
+		interval: s.cfg.TelemetryInterval,
 	}
 	defer func() { ss.batch.Release() }()
 	for {
+		// The idle deadline is refreshed per read, so it bounds the gap
+		// between frames, not the life of the connection; serveBatch
+		// does its own (write-side) waiting and is not affected.
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		n, err := conn.Read(ss.rbuf)
 		if n > 0 {
 			ss.parser.Feed(ss.rbuf[:n])
@@ -89,18 +126,30 @@ func (s *Server) ServeConn(conn net.Conn) {
 func (s *Server) serveFrame(conn net.Conn, ss *session, typ byte, payload []byte) bool {
 	switch typ {
 	case FrameHello:
-		version, _, every, _, err := DecodeHello(payload)
+		version, _, every, _, intervalMS, err := DecodeHello(payload)
 		if err != nil || version != WireVersion {
 			return false
 		}
 		if every > 0 {
 			ss.every = int(every)
 		}
+		if intervalMS > 0 {
+			ss.interval = time.Duration(intervalMS) * time.Millisecond
+		}
+		if ss.interval < minTelemetryInterval {
+			ss.interval = minTelemetryInterval
+		}
 		ss.out = AppendHello(ss.out[:0],
-			uint16(s.pool.Workers()), uint16(ss.every), uint32(s.pool.Depth()))
-		_, werr := conn.Write(ss.out)
-		return werr == nil
+			uint16(s.pool.Workers()), uint16(ss.every), uint32(s.pool.Depth()),
+			uint32(ss.interval/time.Millisecond))
+		return ss.write(s, conn, ss.out) == nil
 	case FrameScenario:
+		if ss.batch.Len() >= s.cfg.MaxBatch {
+			// Protocol violation: a peer streaming scenarios past the
+			// batch bound (with or without a BatchEnd ever coming) would
+			// grow server memory without limit. Tear the session down.
+			return false
+		}
 		sp, err := DecodeScenario(payload)
 		if err != nil {
 			return false
@@ -115,13 +164,50 @@ func (s *Server) serveFrame(conn net.Conn, ss *session, typ byte, payload []byte
 	}
 }
 
-// serveBatch runs the accumulated batch and streams the reply:
-// results in input order with telemetry interleaved every ss.every
-// results, a final telemetry snapshot, and the closing BatchEnd.
+// startTelemetry begins the live mid-run telemetry stream: a ticker
+// goroutine writes a Telemetry frame every ss.interval until stopped,
+// so a long-running batch reports admission health continuously
+// instead of going dark until its first result. The returned stop
+// function halts the stream and waits for the writer to exit before
+// the caller reuses the connection.
+func (ss *session) startTelemetry(s *Server, conn net.Conn) (stop func()) {
+	if ss.interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(ss.interval)
+		defer tick.Stop()
+		var buf []byte
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				buf = AppendTelemetry(buf[:0], s.Telemetry())
+				if ss.write(s, conn, buf) != nil {
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done); wg.Wait() }) }
+}
+
+// serveBatch runs the accumulated batch and streams the reply: live
+// telemetry on a time interval while the batch runs, then results in
+// input order with telemetry interleaved every ss.every results, a
+// final telemetry snapshot, and the closing BatchEnd.
 func (s *Server) serveBatch(conn net.Conn, ss *session) bool {
 	b := ss.batch
+	stop := ss.startTelemetry(s, conn)
 	admitted, shed := b.Submit(false)
 	b.Wait()
+	stop()
 	ss.out = ss.out[:0]
 	for i := range b.Results() {
 		ss.out = AppendResult(ss.out, uint32(i), b.Status(i), b.Results()[i])
@@ -131,7 +217,7 @@ func (s *Server) serveBatch(conn net.Conn, ss *session) bool {
 		// Flush in chunks so a 100k-scenario reply does not balloon
 		// the output buffer: the buffer is the backpressure unit.
 		if len(ss.out) >= connReadBuf {
-			if _, err := conn.Write(ss.out); err != nil {
+			if ss.write(s, conn, ss.out) != nil {
 				return false
 			}
 			ss.out = ss.out[:0]
@@ -139,7 +225,7 @@ func (s *Server) serveBatch(conn net.Conn, ss *session) bool {
 	}
 	ss.out = AppendTelemetry(ss.out, s.Telemetry())
 	ss.out = AppendBatchEnd(ss.out, uint32(admitted), uint32(shed))
-	if _, err := conn.Write(ss.out); err != nil {
+	if ss.write(s, conn, ss.out) != nil {
 		return false
 	}
 	// Reset for the next batch on this connection, keeping storage.

@@ -26,7 +26,12 @@ func f64frombits(u uint64) float64 { return math.Float64frombits(u) }
 // of Scenario frames closed by BatchEnd. The server answers each batch
 // with one Result frame per scenario (in input order), Telemetry
 // frames interleaved every telemetryEvery results (plus one final),
-// and a closing BatchEnd echoing the admitted/shed counts.
+// and a closing BatchEnd echoing the admitted/shed counts. While a
+// batch is running — before the first Result is ready — the server
+// additionally streams Telemetry frames on a wall-clock interval (the
+// Hello intervalMS field), so a long batch reports live health instead
+// of going dark until the result boundary; clients must accept a
+// Telemetry frame at any point in the reply stream.
 
 // FrameSync is the frame header byte.
 const FrameSync = 0xFB
@@ -43,15 +48,17 @@ const (
 // Fixed payload sizes (every frame type is fixed-size; the length
 // field exists for forward compatibility and resync, not variability).
 const (
-	helloLen     = 1 + 2 + 4 + 2 // version, workers, depth, telemetryEvery
+	helloLen     = 1 + 2 + 4 + 2 + 4 // version, workers, depth, telemetryEvery, intervalMS
 	scenarioLen  = 1 + 1 + 2 + 4 + 8 + 8 + 8 + 24
 	batchEndLen  = 4 + 4 // admitted, shed (zero from clients)
 	resultLen    = 4 + 1 + 24 + 24 + 1 + 4 + 8 + 8 + 8
-	telemetryLen = 7 * 8
+	telemetryLen = 8 * 8
 )
 
 // WireVersion is the protocol revision carried in Hello frames.
-const WireVersion = 1
+// Version 2 added the Hello intervalMS field (live mid-run telemetry
+// cadence) and the Telemetry Tenants field.
+const WireVersion = 2
 
 // maxFrameLen bounds what the parser will buffer for a single frame.
 const maxFrameLen = 256
@@ -105,9 +112,12 @@ func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
 }
 
 // AppendHello appends a Hello frame. Clients send their version with
-// workers/depth zero and the telemetry interval they want; servers
-// echo the version and advertise their pool geometry.
-func AppendHello(dst []byte, workers, telemetryEvery uint16, depth uint32) []byte {
+// workers/depth zero, the per-result telemetry interval they want
+// (telemetryEvery, in results) and the live mid-run telemetry cadence
+// they want (intervalMS, in milliseconds; 0 = server default); servers
+// echo the version, advertise their pool geometry and confirm the
+// resolved intervals.
+func AppendHello(dst []byte, workers, telemetryEvery uint16, depth, intervalMS uint32) []byte {
 	mark := len(dst)
 	dst = beginFrame(dst, FrameHello, helloLen)
 	var b [helloLen]byte
@@ -115,16 +125,17 @@ func AppendHello(dst []byte, workers, telemetryEvery uint16, depth uint32) []byt
 	be16(b[1:], workers)
 	be32(b[3:], depth)
 	be16(b[7:], telemetryEvery)
+	be32(b[9:], intervalMS)
 	dst = append(dst, b[:]...)
 	return endFrame(dst, mark)
 }
 
 // DecodeHello unpacks a Hello payload.
-func DecodeHello(p []byte) (version byte, workers, telemetryEvery uint16, depth uint32, err error) {
+func DecodeHello(p []byte) (version byte, workers, telemetryEvery uint16, depth, intervalMS uint32, err error) {
 	if len(p) != helloLen {
-		return 0, 0, 0, 0, fmt.Errorf("fleet: hello payload %d bytes, want %d", len(p), helloLen)
+		return 0, 0, 0, 0, 0, fmt.Errorf("fleet: hello payload %d bytes, want %d", len(p), helloLen)
 	}
-	return p[0], rd16(p[1:]), rd16(p[7:]), rd32(p[3:]), nil
+	return p[0], rd16(p[1:]), rd16(p[7:]), rd32(p[3:]), rd32(p[9:]), nil
 }
 
 // AppendScenario appends one Scenario frame.
@@ -269,18 +280,22 @@ func DecodeResult(p []byte) (WireResult, error) {
 }
 
 // Telemetry is one snapshot of the server's admission counters — the
-// per-epoch stream a binary client receives interleaved with results
-// (an epoch being telemetryEvery completed results).
+// stream a binary client receives interleaved with results (every
+// telemetryEvery completed results) and, since wire version 2, on a
+// wall-clock interval while a batch is still running. Tenants counts
+// the tenants the server has seen; per-tenant rows are the HTTP
+// /v1/stats surface.
 type Telemetry struct {
 	Admitted, Completed, Shed, Failed uint64
 	Inflight, Queued, PeakInflight    uint64
+	Tenants                           uint64
 }
 
 // AppendTelemetry appends one Telemetry frame.
 func AppendTelemetry(dst []byte, t Telemetry) []byte {
 	mark := len(dst)
 	dst = beginFrame(dst, FrameTelemetry, telemetryLen)
-	for _, v := range [7]uint64{t.Admitted, t.Completed, t.Shed, t.Failed, t.Inflight, t.Queued, t.PeakInflight} {
+	for _, v := range [8]uint64{t.Admitted, t.Completed, t.Shed, t.Failed, t.Inflight, t.Queued, t.PeakInflight, t.Tenants} {
 		var b [8]byte
 		be64(b[:], v)
 		dst = append(dst, b[:]...)
@@ -296,6 +311,7 @@ func DecodeTelemetry(p []byte) (Telemetry, error) {
 	return Telemetry{
 		Admitted: rd64(p), Completed: rd64(p[8:]), Shed: rd64(p[16:]), Failed: rd64(p[24:]),
 		Inflight: rd64(p[32:]), Queued: rd64(p[40:]), PeakInflight: rd64(p[48:]),
+		Tenants: rd64(p[56:]),
 	}, nil
 }
 

@@ -31,7 +31,7 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", got, sp)
 	}
 
-	tel := Telemetry{Admitted: 1, Completed: 2, Shed: 3, Failed: 4, Inflight: 5, Queued: 6, PeakInflight: 7}
+	tel := Telemetry{Admitted: 1, Completed: 2, Shed: 3, Failed: 4, Inflight: 5, Queued: 6, PeakInflight: 7, Tenants: 8}
 	p.Feed(AppendTelemetry(nil, tel))
 	typ, payload, ok = p.Next()
 	if !ok || typ != FrameTelemetry {
@@ -50,14 +50,15 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Fatalf("batchend round trip: %d %d %v", a, sh, err)
 	}
 
-	p.Feed(AppendHello(nil, 8, 512, 1024))
+	p.Feed(AppendHello(nil, 8, 512, 1024, 250))
 	_, payload, ok = p.Next()
 	if !ok {
 		t.Fatal("hello did not parse")
 	}
-	v, w, every, depth, err := DecodeHello(payload)
-	if err != nil || v != WireVersion || w != 8 || every != 512 || depth != 1024 {
-		t.Fatalf("hello round trip: v=%d w=%d every=%d depth=%d err=%v", v, w, every, depth, err)
+	v, w, every, depth, interval, err := DecodeHello(payload)
+	if err != nil || v != WireVersion || w != 8 || every != 512 || depth != 1024 || interval != 250 {
+		t.Fatalf("hello round trip: v=%d w=%d every=%d depth=%d interval=%d err=%v",
+			v, w, every, depth, interval, err)
 	}
 }
 
@@ -134,14 +135,58 @@ func TestGoldenBinary(t *testing.T) {
 		t.Errorf("scenario frame changed:\n got %s\nwant %s", got, goldenScenario)
 	}
 
-	goldenHello := "fb010009010008000004000002e7"
-	if got := hex.EncodeToString(AppendHello(nil, 8, 2, 1024)); got != goldenHello {
+	// Wire v2 hello: version 2, the intervalMS field appended after
+	// telemetryEvery.
+	goldenHello := "fb01000d020008000004000002000000fae8"
+	if got := hex.EncodeToString(AppendHello(nil, 8, 2, 1024, 250)); got != goldenHello {
 		t.Errorf("hello frame changed:\n got %s\nwant %s", got, goldenHello)
+	}
+
+	// Wire v2 telemetry: eight big-endian uint64s, Tenants last.
+	goldenTelemetry := "fb050040" +
+		"0000000000000001" + "0000000000000002" + "0000000000000003" + "0000000000000004" +
+		"0000000000000005" + "0000000000000006" + "0000000000000007" + "0000000000000008" +
+		"97"
+	tel := Telemetry{Admitted: 1, Completed: 2, Shed: 3, Failed: 4, Inflight: 5, Queued: 6, PeakInflight: 7, Tenants: 8}
+	if got := hex.EncodeToString(AppendTelemetry(nil, tel)); got != goldenTelemetry {
+		t.Errorf("telemetry frame changed:\n got %s\nwant %s", got, goldenTelemetry)
 	}
 
 	goldenBatchEnd := "fb0300080000000500000002ee"
 	if got := hex.EncodeToString(AppendBatchEnd(nil, 5, 2)); got != goldenBatchEnd {
 		t.Errorf("batchend frame changed:\n got %s\nwant %s", got, goldenBatchEnd)
+	}
+}
+
+// TestResultZeroFillOnNonOK pins the cross-tenant hygiene property of
+// the result codec: a non-OK slot's payload is all zeros past the
+// header, even when the caller hands it a recycled *Result still
+// holding another scenario's numbers. Pooled result storage makes this
+// the line between "shed" and "leaked a stranger's metrics".
+func TestResultZeroFillOnNonOK(t *testing.T) {
+	stale := &system.Result{
+		ErrorDeg:         [3]float64{1.5, -2.5, 3.5},
+		ThreeSigmaDeg:    [3]float64{4.5, 5.5, 6.5},
+		WithinConfidence: true, Steps: 999,
+		FinalMeasNoise: 0.5, MeanNIS: 9.9, ExceedanceRate: 0.25,
+	}
+	for _, status := range []byte{StatusError, StatusShed} {
+		frame := AppendResult(nil, 7, status, stale)
+		var p FrameParser
+		p.Feed(frame)
+		typ, payload, ok := p.Next()
+		if !ok || typ != FrameResult {
+			t.Fatalf("status %d: frame did not parse", status)
+		}
+		if rd32(payload) != 7 || payload[4] != status {
+			t.Fatalf("status %d: header %x", status, payload[:5])
+		}
+		for i, b := range payload[5:] {
+			if b != 0 {
+				t.Fatalf("status %d: recycled result leaked byte %#x at payload offset %d",
+					status, b, i+5)
+			}
+		}
 	}
 }
 

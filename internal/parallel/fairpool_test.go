@@ -1,0 +1,226 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fairJob carries its tenant so tests can observe service order.
+type fairJob struct {
+	tenant uint32
+	seq    int
+}
+
+// TestFairPoolDRRInterleaves pins the scheduling discipline itself:
+// with one worker, quantum 2, tenant 1 holding 8 queued jobs and
+// tenant 2 holding 2, service must alternate in quantum-sized turns —
+// the small tenant finishes after 4 served jobs, not after 10. Under a
+// FIFO it would wait behind all 8.
+func TestFairPoolDRRInterleaves(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []uint32
+	p := NewFairPool(1, 64, 2, 0, func(worker int, j fairJob) {
+		<-release
+		mu.Lock()
+		order = append(order, j.tenant)
+		mu.Unlock()
+	})
+	for i := 0; i < 8; i++ {
+		if ok, _ := p.TrySubmit(1, fairJob{tenant: 1, seq: i}); !ok {
+			t.Fatal("tenant 1 submit refused")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if ok, _ := p.TrySubmit(2, fairJob{tenant: 2, seq: i}); !ok {
+			t.Fatal("tenant 2 submit refused")
+		}
+	}
+	close(release)
+	p.Close() // drains: all 10 served
+	want := []uint32{1, 1, 2, 2, 1, 1, 1, 1, 1, 1}
+	if len(order) != len(want) {
+		t.Fatalf("served %d jobs, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v (DRR quantum turns)", order, want)
+		}
+	}
+}
+
+// TestFairPoolManyTenantsBounded checks the fairness bound at scale:
+// one mega tenant with 100 queued jobs and 5 small tenants with 2
+// each; every small tenant must complete within the first
+// (tenants × quantum × turns) services, far before the mega queue
+// drains.
+func TestFairPoolManyTenantsBounded(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []uint32
+	p := NewFairPool(1, 256, 2, 0, func(worker int, j fairJob) {
+		<-release
+		mu.Lock()
+		order = append(order, j.tenant)
+		mu.Unlock()
+	})
+	for i := 0; i < 100; i++ {
+		p.TrySubmit(1, fairJob{tenant: 1})
+	}
+	for tn := uint32(2); tn <= 6; tn++ {
+		for i := 0; i < 2; i++ {
+			p.TrySubmit(tn, fairJob{tenant: tn})
+		}
+	}
+	close(release)
+	p.Close()
+	// Each small tenant's 2 jobs fit one quantum-2 turn; all five turns
+	// complete within the first round of the ring: positions < 6*2.
+	last := map[uint32]int{}
+	for i, tn := range order {
+		last[tn] = i
+	}
+	for tn := uint32(2); tn <= 6; tn++ {
+		if last[tn] >= 12 {
+			t.Errorf("tenant %d last served at position %d of %d — starved behind the mega tenant",
+				tn, last[tn], len(order))
+		}
+	}
+}
+
+// gatedPool builds a 1-worker pool whose serve parks on gate, plus a
+// channel that reports each serve entry — the deterministic way to get
+// a known queue occupancy.
+func gatedPool(depth, quantum, tcap int) (p *FairPool[fairJob], gate chan struct{}, entered chan struct{}) {
+	gate = make(chan struct{})
+	entered = make(chan struct{}, 64)
+	p = NewFairPool(1, depth, quantum, tcap, func(worker int, j fairJob) {
+		entered <- struct{}{}
+		<-gate
+	})
+	return p, gate, entered
+}
+
+// TestFairPoolDepthSheds fills the queue behind a gated worker and
+// checks the global bound sheds with tenantCapped=false.
+func TestFairPoolDepthSheds(t *testing.T) {
+	const depth = 3
+	p, gate, entered := gatedPool(depth, 4, 0)
+	defer func() { close(gate); p.Close() }()
+
+	if ok, _ := p.TrySubmit(1, fairJob{}); !ok {
+		t.Fatal("first submit refused")
+	}
+	<-entered // worker holds job 0; queue is empty again
+	for i := 0; i < depth; i++ {
+		if ok, capped := p.TrySubmit(1, fairJob{}); !ok || capped {
+			t.Fatalf("fill submit %d: ok=%v capped=%v", i, ok, capped)
+		}
+	}
+	ok, capped := p.TrySubmit(1, fairJob{})
+	if ok || capped {
+		t.Fatalf("overflow submit: ok=%v capped=%v, want shed on the global bound", ok, capped)
+	}
+	if p.Queued() != depth {
+		t.Fatalf("queued %d, want %d", p.Queued(), depth)
+	}
+}
+
+// TestFairPoolTenantCapSheds checks the per-tenant outstanding bound:
+// a capped tenant sheds with tenantCapped=true while another tenant is
+// still admitted, and room returns once jobs complete.
+func TestFairPoolTenantCapSheds(t *testing.T) {
+	const tcap = 2
+	p, gate, entered := gatedPool(64, 4, tcap)
+
+	// Tenant 1: job 0 runs (gated), job 1 queued — outstanding = cap.
+	p.TrySubmit(1, fairJob{})
+	<-entered
+	p.TrySubmit(1, fairJob{})
+	if ok, capped := p.TrySubmit(1, fairJob{}); ok || !capped {
+		t.Fatalf("at-cap submit: ok=%v capped=%v, want tenant-cap shed", ok, capped)
+	}
+	if got := p.TenantOutstanding(1); got != tcap {
+		t.Fatalf("tenant 1 outstanding %d, want %d", got, tcap)
+	}
+	// The cap is per tenant: tenant 2 is unaffected.
+	if ok, capped := p.TrySubmit(2, fairJob{}); !ok || capped {
+		t.Fatalf("tenant 2 submit: ok=%v capped=%v", ok, capped)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ { // tenant 1 job 1 and tenant 2 job 0 serve
+		<-entered
+	}
+	// Poll until completions land (serve return races the channel send).
+	deadline := time.Now().Add(2 * time.Second)
+	for p.TenantOutstanding(1) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("tenant 1 outstanding never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ok, capped := p.TrySubmit(1, fairJob{}); !ok || capped {
+		t.Fatalf("post-drain submit: ok=%v capped=%v", ok, capped)
+	}
+	<-entered
+	p.Close()
+}
+
+// TestFairPoolSubmitBlocksOnCap checks the blocking form converts the
+// tenant cap into backpressure rather than shedding.
+func TestFairPoolSubmitBlocksOnCap(t *testing.T) {
+	p, gate, entered := gatedPool(64, 4, 1)
+	p.TrySubmit(7, fairJob{})
+	<-entered // outstanding = 1 = cap
+
+	unblocked := make(chan struct{})
+	go func() {
+		p.Submit(7, fairJob{seq: 1})
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("Submit returned while the tenant was at its cap")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate) // job 0 completes; cap room frees
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit stayed blocked after cap room freed")
+	}
+	<-entered
+	p.Close()
+}
+
+// TestFairPoolCloseDrains submits across tenants and checks Close
+// serves everything before returning.
+func TestFairPoolCloseDrains(t *testing.T) {
+	var served sync.Map
+	var count int64
+	var mu sync.Mutex
+	p := NewFairPool(4, 1024, 8, 0, func(worker int, j fairJob) {
+		served.Store([2]int{int(j.tenant), j.seq}, true)
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	const tenants, each = 7, 13
+	for tn := uint32(0); tn < tenants; tn++ {
+		for i := 0; i < each; i++ {
+			p.Submit(tn, fairJob{tenant: tn, seq: i})
+		}
+	}
+	p.Close()
+	if count != tenants*each {
+		t.Fatalf("served %d jobs, want %d", count, tenants*each)
+	}
+	for tn := 0; tn < tenants; tn++ {
+		for i := 0; i < each; i++ {
+			if _, ok := served.Load([2]int{tn, i}); !ok {
+				t.Fatalf("tenant %d job %d never served across Close", tn, i)
+			}
+		}
+	}
+}
